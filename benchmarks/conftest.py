@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures (fast sweep) via
+the :mod:`repro.bench.experiments` harness, records the wall time with
+pytest-benchmark, prints the regenerated rows, and asserts the shape checks
+(DESIGN.md §5).  The *simulated* TFlop/s series are the scientific output; the
+benchmark timer measures harness cost only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.dgx1 import make_dgx1
+
+
+@pytest.fixture(scope="session")
+def dgx1():
+    return make_dgx1(8)
+
+
+def run_and_check(benchmark, run_fn, **kwargs):
+    """Benchmark one experiment runner, print its report, assert its checks."""
+    result = benchmark.pedantic(lambda: run_fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    benchmark.extra_info["checks"] = {k: bool(v) for k, v in result.checks.items()}
+    failing = [name for name, ok in result.checks.items() if not ok]
+    assert not failing, f"shape checks failed: {failing}"
+    return result

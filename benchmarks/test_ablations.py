@@ -1,0 +1,209 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §6.
+
+Beyond the paper's own ablation (Fig. 3 / Table II, covered by
+``test_fig3_heuristics``), these probe the substrate decisions:
+
+* eviction policy (XKaapi read-only-first vs LRU vs BLASX two-level) under
+  memory pressure;
+* copy/compute overlap (XKaapi streams) vs same-stream serialization;
+* scheduler (locality work stealing vs DMDAS vs round-robin) on SYR2K;
+* the shared-PCIe-switch contention model vs private host links;
+* the optimistic heuristic on a Summit-like node (the paper's §III-C
+  prediction that its gain vanishes there).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Runtime, RuntimeOptions
+from repro.bench.harness import run_point
+from repro.blas.tiled import build_gemm, build_syr2k
+from repro.blas.params import Trans, Uplo
+from repro.memory.matrix import Matrix
+from repro.runtime.policies import SourcePolicy
+from repro.topology.device import GpuSpec
+from repro.topology.dgx1 import make_dgx1
+from repro.topology.summit import make_summit_node
+
+N, NB = 16384, 2048
+
+
+def _gemm_makespan(platform, **opts) -> float:
+    rt = Runtime(platform, RuntimeOptions(**opts))
+    a, b, c = (Matrix.meta(N, N, name=x) for x in "ABC")
+    pa, pb, pc = (rt.partition(m, NB) for m in (a, b, c))
+    for t in build_gemm(1.0, pa, pb, 0.0, pc):
+        rt.submit(t)
+    rt.memory_coherent_async(c, NB)
+    return rt.sync()
+
+
+def test_ablation_eviction_policy(benchmark, dgx1):
+    """Under memory pressure, XKaapi's read-only-first eviction should not be
+    worse than plain LRU (clean drops are free, dirty ones cost a
+    write-back)."""
+    # Shrink device memory so the GEMM working set forces evictions.
+    small_gpu = GpuSpec(memory_bytes=2 * 1024**3)
+    plat = make_dgx1(8, gpu=small_gpu)
+
+    def run():
+        return {
+            policy: _gemm_makespan(plat, eviction=policy)
+            for policy in ("read-only-first", "lru", "blasx-2level")
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for k, v in times.items():
+        print(f"  eviction={k:16s} makespan={v:.3f}s")
+    benchmark.extra_info["makespans"] = times
+    assert times["read-only-first"] <= times["lru"] * 1.05
+
+
+def test_ablation_copy_compute_overlap(benchmark, dgx1):
+    """XKaapi's stream-per-operation-type overlap vs same-stream
+    serialization (§II-B): overlap must win clearly."""
+
+    def run():
+        return {
+            "overlap": _gemm_makespan(dgx1, overlap=True),
+            "serialized": _gemm_makespan(dgx1, overlap=False),
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for k, v in times.items():
+        print(f"  {k:11s} makespan={v:.3f}s")
+    benchmark.extra_info["makespans"] = times
+    assert times["overlap"] < times["serialized"]
+
+
+def test_ablation_scheduler_on_syr2k(benchmark, dgx1):
+    """Scheduler comparison on the paper's problem routine: DMDAS and
+    locality work stealing should both beat blind round-robin."""
+
+    def one(scheduler):
+        rt = Runtime(dgx1, RuntimeOptions(scheduler=scheduler))
+        a, b, c = (Matrix.meta(N, N, name=x) for x in "ABC")
+        pa, pb, pc = (rt.partition(m, NB) for m in (a, b, c))
+        for t in build_syr2k(Uplo.LOWER, Trans.NOTRANS, 1.0, pa, pb, 0.0, pc):
+            rt.submit(t)
+        rt.memory_coherent_async(c, NB)
+        return rt.sync()
+
+    def run():
+        return {
+            s: one(s) for s in ("xkaapi-locality-ws", "starpu-dmdas", "round-robin")
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for k, v in times.items():
+        print(f"  scheduler={k:20s} makespan={v:.3f}s")
+    benchmark.extra_info["makespans"] = times
+    assert times["xkaapi-locality-ws"] < times["round-robin"]
+    assert times["starpu-dmdas"] < times["round-robin"]
+
+
+def test_ablation_pcie_switch_contention(benchmark):
+    """The DGX-1 shares one host switch between GPU pairs; giving every GPU a
+    private link must speed up the host-bound phases — quantifying the
+    bottleneck the optimistic heuristic works around."""
+    shared = make_dgx1(8)
+    private = make_dgx1(8)
+    private.pcie_switch_groups = [(d,) for d in range(8)]
+
+    def run():
+        return {
+            "shared-switches": _gemm_makespan(shared),
+            "private-links": _gemm_makespan(private),
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for k, v in times.items():
+        print(f"  {k:16s} makespan={v:.3f}s")
+    benchmark.extra_info["makespans"] = times
+    assert times["private-links"] < times["shared-switches"]
+
+
+def test_ablation_optimistic_gain_by_platform(benchmark):
+    """§III-C prediction: the optimistic heuristic pays on the DGX-1 (shared
+    PCIe host links) but not on a Summit-like node (NVLink host links)."""
+
+    def gain(platform):
+        full = run_point("xkblas", "gemm", N, NB, platform).tflops
+        off = run_point("xkblas-no-heuristic", "gemm", N, NB, platform).tflops
+        return full / off - 1.0
+
+    def run():
+        return {"dgx1": gain(make_dgx1(8)), "summit": gain(make_summit_node(6))}
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for k, v in gains.items():
+        print(f"  optimistic gain on {k}: {100 * v:+.1f}%")
+    benchmark.extra_info["gains"] = gains
+    assert gains["dgx1"] > gains["summit"]
+    assert gains["summit"] < 0.10
+
+
+def test_ablation_source_policy_traffic(benchmark, dgx1):
+    """Host-PCIe traffic by source policy: each heuristic must strictly
+    reduce bytes crossing the host links."""
+
+    def one(policy):
+        rt = Runtime(dgx1, RuntimeOptions(source_policy=policy))
+        a, b, c = (Matrix.meta(N, N, name=x) for x in "ABC")
+        pa, pb, pc = (rt.partition(m, NB) for m in (a, b, c))
+        for t in build_gemm(1.0, pa, pb, 0.0, pc):
+            rt.submit(t)
+        rt.memory_coherent_async(c, NB)
+        rt.sync()
+        return rt.fabric.host_bytes_total()
+
+    def run():
+        return {p.value: one(p) for p in SourcePolicy}
+
+    traffic = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for k, v in traffic.items():
+        print(f"  policy={k:22s} host traffic={v / 1e9:8.1f} GB")
+    benchmark.extra_info["host_gb"] = {k: v / 1e9 for k, v in traffic.items()}
+    assert (
+        traffic["topology-optimistic"]
+        <= traffic["topology"]
+        <= traffic["host-only"]
+    )
+
+
+def test_ablation_pinning_cost(benchmark, dgx1):
+    """§IV-A methodology: what ignoring page-lock time hides.
+
+    With pinning charged at a typical ~5 GB/s, the first GEMM on fresh
+    matrices pays a serial host toll comparable to the whole computation —
+    the reason the paper (like every drop-in library benchmark) assumes the
+    cost is amortized across calls.
+    """
+    from repro.blas.tiled import build_gemm
+    from repro.memory.matrix import Matrix
+
+    def one(pinning):
+        rt = Runtime(dgx1, RuntimeOptions(pinning_bandwidth=pinning))
+        mats = [Matrix.meta(N, N, name=x) for x in "ABC"]
+        parts = [rt.partition(m, NB) for m in mats]
+        for t in build_gemm(1.0, parts[0], parts[1], 0.0, parts[2]):
+            rt.submit(t)
+        rt.memory_coherent_async(mats[2], NB)
+        return rt.sync()
+
+    def run():
+        return {"ignored (paper)": one(None), "charged at 5 GB/s": one(5e9)}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for k, v in times.items():
+        print(f"  pinning {k:18s}: makespan {v:.3f}s")
+    benchmark.extra_info["seconds"] = times
+    assert times["charged at 5 GB/s"] > times["ignored (paper)"] * 1.5

@@ -1,0 +1,84 @@
+"""Extension benchmark: tiled Cholesky solver composed from BLAS-3.
+
+Not a paper figure — the paper's §IV-F/§V motivate XKBLAS with sparse direct
+solvers (MUMPS) whose supernodal kernels are exactly POTRF/TRSM/GEMM chains.
+This benchmark factars and solves an SPD system through the composed pipeline
+(`repro.lapack.posv_async`) and checks the composition pays:
+
+* the solve overlaps the factorization (no phase barrier);
+* the heuristics still help on the irregular Cholesky DAG.
+"""
+
+from __future__ import annotations
+
+from repro import Runtime, RuntimeOptions
+from repro.blas.params import Uplo
+from repro.lapack import posv_async
+from repro.lapack.potrf import potrf_total_flops
+from repro.memory.matrix import Matrix
+from repro.runtime.policies import SourcePolicy
+
+N, NB, NRHS = 24576, 1024, 4096
+
+
+def _posv_seconds(platform, policy) -> float:
+    rt = Runtime(platform, RuntimeOptions(source_policy=policy))
+    a = Matrix.meta(N, N, name="A")
+    b = Matrix.meta(N, NRHS, name="B")
+    posv_async(rt, Uplo.LOWER, a, b, NB)
+    rt.memory_coherent_async(b, NB)
+    return rt.sync()
+
+
+def test_extension_cholesky_solver(benchmark, dgx1):
+    def run():
+        out = {}
+        for policy in (
+            SourcePolicy.TOPOLOGY_OPTIMISTIC,
+            SourcePolicy.TOPOLOGY,
+            SourcePolicy.ANY_VALID,
+        ):
+            out[policy.value] = _posv_seconds(dgx1, policy)
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    flops = potrf_total_flops(N) + 2 * N * N * NRHS
+    print()
+    for policy, secs in times.items():
+        print(f"  POSV N={N}, nrhs={NRHS}, policy={policy:22s}: "
+              f"{secs:.3f}s = {flops / secs / 1e12:.1f} TFlop/s")
+    benchmark.extra_info["seconds"] = times
+    # Both heuristics must still pay on the irregular factorization DAG.
+    assert times["topology-optimistic"] <= times["topology"] * 1.02
+    assert times["topology"] < times["any-valid"] * 1.02
+
+
+def test_extension_factor_solve_overlap(benchmark, dgx1):
+    """The composed pipeline beats factor-barrier-solve."""
+
+    def run():
+        rt = Runtime(dgx1)
+        a = Matrix.meta(N, N, name="A")
+        b = Matrix.meta(N, NRHS, name="B")
+        posv_async(rt, Uplo.LOWER, a, b, NB)
+        rt.memory_coherent_async(b, NB)
+        composed = rt.sync()
+
+        rt2 = Runtime(dgx1)
+        a2 = Matrix.meta(N, N, name="A")
+        b2 = Matrix.meta(N, NRHS, name="B")
+        from repro.lapack import potrf_async, potrs_async
+
+        potrf_async(rt2, Uplo.LOWER, a2, NB)
+        rt2.sync()  # barrier between factorization and solve
+        potrs_async(rt2, Uplo.LOWER, a2, b2, NB)
+        rt2.memory_coherent_async(b2, NB)
+        barrier = rt2.sync()
+        return {"composed": composed, "barrier": barrier}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"  composed pipeline : {times['composed']:.3f}s")
+    print(f"  barrier pipeline  : {times['barrier']:.3f}s")
+    benchmark.extra_info["seconds"] = times
+    assert times["composed"] < times["barrier"]

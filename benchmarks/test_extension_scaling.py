@@ -1,0 +1,9 @@
+"""Extension benchmark: strong scaling with GPU count (DESIGN.md §6)."""
+
+from repro.bench.experiments import scaling
+
+from conftest import run_and_check
+
+
+def test_extension_scaling(benchmark):
+    run_and_check(benchmark, scaling.run, fast=True)

@@ -1,0 +1,9 @@
+"""Fig. 1 — the DGX-1 hybrid cube-mesh wiring itself (DESIGN.md §5)."""
+
+from repro.bench.experiments import fig1_topology
+
+from conftest import run_and_check
+
+
+def test_fig1_topology(benchmark):
+    run_and_check(benchmark, fig1_topology.run)

@@ -1,0 +1,9 @@
+"""Fig. 2 — pairwise GPU bandwidth matrix (DESIGN.md §5)."""
+
+from repro.bench.experiments import fig2_bandwidth
+
+from conftest import run_and_check
+
+
+def test_fig2_bandwidth(benchmark):
+    run_and_check(benchmark, fig2_bandwidth.run)

@@ -1,0 +1,9 @@
+"""Fig. 3 — heuristic ablation on GEMM/SYR2K/TRSM (DESIGN.md §5)."""
+
+from repro.bench.experiments import fig3_heuristics
+
+from conftest import run_and_check
+
+
+def test_fig3_heuristics(benchmark):
+    run_and_check(benchmark, fig3_heuristics.run, fast=True)

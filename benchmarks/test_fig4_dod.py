@@ -1,0 +1,9 @@
+"""Fig. 4 — data-on-device vs data-on-host (DESIGN.md §5)."""
+
+from repro.bench.experiments import fig4_dod
+
+from conftest import run_and_check
+
+
+def test_fig4_dod(benchmark):
+    run_and_check(benchmark, fig4_dod.run, fast=True)

@@ -1,0 +1,13 @@
+"""Fig. 5 — 6 routines x 8 libraries (DESIGN.md §5).
+
+The fast sweep covers GEMM and SYR2K; the full six-routine sweep runs via
+``python -m repro.bench fig5``.
+"""
+
+from repro.bench.experiments import fig5_libraries
+
+from conftest import run_and_check
+
+
+def test_fig5_libraries(benchmark):
+    run_and_check(benchmark, fig5_libraries.run, fast=True)

@@ -1,0 +1,9 @@
+"""Fig. 6 — GEMM trace breakdown at N=32768 (DESIGN.md §5)."""
+
+from repro.bench.experiments import fig6_gemm_trace
+
+from conftest import run_and_check
+
+
+def test_fig6_gemm_trace(benchmark):
+    run_and_check(benchmark, fig6_gemm_trace.run)  # full N=32768, it is cheap

@@ -1,0 +1,9 @@
+"""Fig. 7 — SYR2K per-GPU trace at N=49152 (DESIGN.md §5)."""
+
+from repro.bench.experiments import fig7_syr2k_trace
+
+from conftest import run_and_check
+
+
+def test_fig7_syr2k_trace(benchmark):
+    run_and_check(benchmark, fig7_syr2k_trace.run)

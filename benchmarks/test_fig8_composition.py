@@ -1,0 +1,9 @@
+"""Fig. 8 — TRSM+GEMM composition sweep (DESIGN.md §5)."""
+
+from repro.bench.experiments import fig8_composition
+
+from conftest import run_and_check
+
+
+def test_fig8_composition(benchmark):
+    run_and_check(benchmark, fig8_composition.run, fast=True)

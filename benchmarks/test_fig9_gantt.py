@@ -1,0 +1,9 @@
+"""Fig. 9 — composition Gantt chart and synchronization gaps (DESIGN.md §5)."""
+
+from repro.bench.experiments import fig9_gantt
+
+from conftest import run_and_check
+
+
+def test_fig9_gantt(benchmark):
+    run_and_check(benchmark, fig9_gantt.run)  # full N=32768

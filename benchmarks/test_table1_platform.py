@@ -1,0 +1,9 @@
+"""Table I — DGX-1 platform characteristics (DESIGN.md §5)."""
+
+from repro.bench.experiments import table1_platform
+
+from conftest import run_and_check
+
+
+def test_table1_platform(benchmark):
+    run_and_check(benchmark, table1_platform.run)

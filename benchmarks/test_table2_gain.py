@@ -1,0 +1,9 @@
+"""Table II — max loss/gain of the XKBlas variants (DESIGN.md §5)."""
+
+from repro.bench.experiments import table2_gain
+
+from conftest import run_and_check
+
+
+def test_table2_gain(benchmark):
+    run_and_check(benchmark, table2_gain.run, fast=True)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Solve an SPD system on the simulated multi-GPU machine (POSV).
+
+The paper's closing argument (§V): XKBLAS backs the MUMPS sparse direct
+solver, whose supernodal kernels are chains of POTRF/TRSM/GEMM.  This example
+factors A = L·Lᵀ and solves A·X = B as one composed task pipeline — the solve
+starts consuming factor tiles before the factorization has finished — then
+verifies the solution numerically.
+
+Usage::
+
+    python examples/cholesky_solver.py [N] [NRHS] [NB]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Matrix, Runtime, make_dgx1
+from repro.blas.params import Uplo
+from repro.lapack import posv_async
+from repro.lapack.potrf import potrf_total_flops
+
+
+def main(n: int = 768, nrhs: int = 128, nb: int = 128) -> None:
+    platform = make_dgx1(8)
+    rng = np.random.default_rng(0)
+    m = rng.random((n, n))
+    a_full = m @ m.T + n * np.eye(n)  # SPD
+    a = Matrix(n, n, data=np.asfortranarray(a_full.copy()), name="A")
+    b = Matrix.random(n, nrhs, seed=1, name="B")
+    b0 = b.to_array().copy()
+
+    rt = Runtime(platform)
+    posv_async(rt, Uplo.LOWER, a, b, nb)
+    rt.memory_coherent_async(b, nb)
+    rt.memory_coherent_async(a, nb)
+    seconds = rt.sync()
+
+    x = b.to_array()
+    residual = float(np.max(np.abs(a_full @ x - b0)))
+    factor_err = float(
+        np.max(np.abs(np.tril(a.to_array()) - np.linalg.cholesky(a_full)))
+    )
+    flops = potrf_total_flops(n) + 2.0 * n * n * nrhs
+    print(f"POSV: A({n}x{n}) X = B({n}x{nrhs}), tile size {nb}")
+    print(f"simulated time   : {seconds * 1e3:.3f} ms "
+          f"({flops / seconds / 1e9:.1f} simulated GFlop/s)")
+    print(f"max |A X - B|    : {residual:.2e}")
+    print(f"max |L - chol(A)|: {factor_err:.2e}")
+    tasks = rt.executor.graph.tasks
+    solve_start = min(t.start_time for t in tasks
+                      if t.output_tile.key.matrix_id == b.id)
+    factor_end = max(t.end_time for t in tasks if t.name in ("potrf", "syrk"))
+    print(f"\ncomposition: first solve task starts at {solve_start * 1e3:.3f} ms, "
+          f"last factor task ends at {factor_end * 1e3:.3f} ms")
+    if solve_start < factor_end:
+        print("=> the solve overlapped the factorization (no phase barrier).")
+    assert residual < 1e-6
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 768
+    nrhs = int(sys.argv[2]) if len(sys.argv) > 2 else 128
+    nb = int(sys.argv[3]) if len(sys.argv) > 3 else 128
+    main(n, nrhs, nb)

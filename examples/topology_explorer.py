@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Explore the platform models and what the heuristics see.
+
+Prints the DGX-1 hybrid cube-mesh (paper Fig. 1/2): per-pair link classes,
+the measured-bandwidth matrix, CUDA-style P2P performance ranks, and the
+source-ranking the topology-aware heuristic derives from them.  Then contrasts
+with a Summit-like node and measures the optimistic heuristic's gain on both —
+the paper's §III-C prediction.
+
+Usage::
+
+    python examples/topology_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro import make_dgx1, make_summit_node
+from repro.bench.experiments.fig2_bandwidth import measure_matrix
+from repro.bench.harness import run_point
+
+
+def show_platform(plat) -> None:
+    print(f"=== {plat.name} ===")
+    n = plat.num_gpus
+    print("link classes (rows = src):")
+    for i in range(n):
+        row = []
+        for j in range(n):
+            row.append("  . " if i == j else f"{plat.link(i, j).kind.label:>4s}"[:4])
+        print(f"  gpu{i}: " + " ".join(row))
+    print("measured bandwidth (GB/s):")
+    measured = measure_matrix(plat, nbytes=64 * 1024 * 1024)
+    for i in range(n):
+        print(f"  gpu{i}: " + " ".join(f"{measured[i][j]:6.1f}" for j in range(n)))
+    print("topology-aware source ranking toward each GPU "
+          "(cuDeviceGetP2PAttribute order):")
+    for dst in range(min(n, 4)):
+        others = [d for d in range(n) if d != dst]
+        ranked = plat.peers_by_rank(dst, others)
+        print(f"  to gpu{dst}: {ranked}")
+    print(f"host links: {plat.host_link_kind.label} at "
+          f"{plat.host_bandwidth / 1e9:.0f} GB/s, switch groups "
+          f"{[tuple(g) for g in plat.pcie_switch_groups]}")
+    print()
+
+
+def optimistic_gain(plat, n=16384, nb=2048) -> float:
+    full = run_point("xkblas", "gemm", n, nb, plat).tflops
+    off = run_point("xkblas-no-heuristic", "gemm", n, nb, plat).tflops
+    return full / off - 1.0
+
+
+def main() -> None:
+    dgx1 = make_dgx1(8)
+    summit = make_summit_node(6)
+    show_platform(dgx1)
+    show_platform(summit)
+    print("optimistic device-to-device heuristic, GEMM N=16384:")
+    print(f"  gain on DGX-1 (shared PCIe host links) : {100 * optimistic_gain(dgx1):+.1f}%")
+    print(f"  gain on Summit-like node (NVLink host) : {100 * optimistic_gain(summit):+.1f}%")
+    print("\nAs the paper predicts (§III-C), the heuristic pays where the host")
+    print("links are the bottleneck and is negligible where they are not.")
+
+
+if __name__ == "__main__":
+    main()

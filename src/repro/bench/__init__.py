@@ -1,0 +1,29 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Each experiment module under :mod:`repro.bench.experiments` exposes
+``run(...) -> ExperimentResult`` and renders the same rows/series the paper
+reports.  ``python -m repro.bench <experiment> [--fast]`` runs one from the
+command line; the ``benchmarks/`` pytest suite wraps the same entry points.
+
+The simulator is deterministic, so a single run replaces the paper's mean of
+8 repetitions (§IV-A) — there is no run-to-run variance to average away.
+"""
+
+from repro.bench.harness import (
+    BestTileResult,
+    ExperimentResult,
+    best_over_tiles,
+    dod_tile_size,
+    run_point,
+)
+from repro.bench.workloads import matrices_for, paper_sizes
+
+__all__ = [
+    "BestTileResult",
+    "ExperimentResult",
+    "best_over_tiles",
+    "dod_tile_size",
+    "matrices_for",
+    "paper_sizes",
+    "run_point",
+]

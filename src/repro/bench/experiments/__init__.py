@@ -1,0 +1,33 @@
+"""One module per table/figure of the paper (see DESIGN.md §5)."""
+
+from repro.bench.experiments import (
+    fig1_topology,
+    fig2_bandwidth,
+    fig3_heuristics,
+    fig4_dod,
+    fig5_libraries,
+    fig6_gemm_trace,
+    fig7_syr2k_trace,
+    fig8_composition,
+    fig9_gantt,
+    scaling,
+    table1_platform,
+    table2_gain,
+)
+
+EXPERIMENTS = {
+    "table1": table1_platform.run,
+    "fig1": fig1_topology.run,
+    "fig2": fig2_bandwidth.run,
+    "fig3": fig3_heuristics.run,
+    "table2": table2_gain.run,
+    "fig4": fig4_dod.run,
+    "fig5": fig5_libraries.run,
+    "fig6": fig6_gemm_trace.run,
+    "fig7": fig7_syr2k_trace.run,
+    "fig8": fig8_composition.run,
+    "fig9": fig9_gantt.run,
+    "scaling": scaling.run,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,75 @@
+"""Fig. 2 — bandwidth (GB/s) measured between GPUs on the DGX-1.
+
+Measures pairwise device-to-device bandwidth by timing a large transfer on an
+otherwise idle fabric — the simulated equivalent of the paper's p2pBandwidth
+measurement — and checks the three link classes (2×NVLink ≈ 96, 1×NVLink ≈ 48,
+PCIe ≈ 17 GB/s) plus the ~750 GB/s local-copy diagonal.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.bench.harness import ExperimentResult
+from repro.runtime.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.topology.dgx1 import make_dgx1
+from repro.topology.link import LinkKind
+from repro.topology.platform import Platform
+
+#: Transfer size used for each measurement (large enough to hide latency).
+MEASURE_BYTES = 256 * 1024 * 1024
+
+
+def measure_matrix(platform: Platform, nbytes: int = MEASURE_BYTES) -> list[list[float]]:
+    """Measured GB/s between every device pair (diagonal = local copy)."""
+    n = platform.num_gpus
+    out = [[0.0] * n for _ in range(n)]
+    for src in range(n):
+        for dst in range(n):
+            # A fresh fabric per pair: each measurement sees an idle machine.
+            sim = Simulator()
+            fabric = Fabric(sim, platform)
+            if src == dst:
+                start, end = fabric.reserve_local(src, nbytes, 0.0)
+            else:
+                start, end = fabric.reserve_p2p(src, dst, nbytes, 0.0)
+            out[src][dst] = nbytes / (end - start) / config.GB
+    return out
+
+
+def run(platform: Platform | None = None, fast: bool = False) -> ExperimentResult:
+    plat = platform if platform is not None else make_dgx1(8)
+    measured = measure_matrix(plat, MEASURE_BYTES if not fast else 64 * 1024 * 1024)
+    n = plat.num_gpus
+    rows = [
+        [src] + [round(measured[src][dst], 2) for dst in range(n)] for src in range(n)
+    ]
+    classes_ok = True
+    for src in range(n):
+        for dst in range(n):
+            got = measured[src][dst]
+            kind = plat.link(src, dst).kind
+            lo, hi = {
+                LinkKind.LOCAL: (700.0, 780.0),
+                LinkKind.NVLINK_DOUBLE: (90.0, 100.0),
+                LinkKind.NVLINK_SINGLE: (44.0, 52.0),
+                LinkKind.PCIE_PEER: (14.0, 20.0),
+            }[kind]
+            if not lo <= got <= hi:
+                classes_ok = False
+    return ExperimentResult(
+        experiment="Fig. 2",
+        title="Bandwidth (GB/s) measured between GPUs on the DGX-1",
+        columns=["src\\dst"] + [str(d) for d in range(n)],
+        rows=rows,
+        notes=[
+            "green/orange/white classes of the paper = 2xNVLink / 1xNVLink / PCIe",
+        ],
+        checks={
+            "three bandwidth classes ~96/48/17 GB/s, diagonal ~750": classes_ok,
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

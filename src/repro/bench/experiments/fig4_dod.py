@@ -1,0 +1,86 @@
+"""Fig. 4 — performance with data-on-device (2D block-cyclic) vs data-on-host.
+
+Curves per routine (GEMM, SYR2K, TRSM): XKBlas data-on-host, XKBlas DoD,
+Chameleon Tile and cuBLAS-XT as references.  Shape criteria (§IV-C):
+
+* DoD dominates data-on-host, most at small/mid N (paper: ~50 TFlop/s already
+  at N≈10000);
+* the DoD/host gap shrinks as N grows (arithmetic intensity is O(N), the
+  communication/computation ratio tends to 0);
+* Chameleon Tile approaches (paper: overtakes) XKBlas DoD on SYR2K at the
+  largest sizes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    ExperimentResult,
+    best_over_tiles,
+    series_to_rows,
+)
+from repro.bench.workloads import paper_sizes
+from repro.topology.dgx1 import make_dgx1
+from repro.topology.platform import Platform
+
+ROUTINES = ("gemm", "syr2k", "trsm")
+
+
+def run(
+    platform: Platform | None = None,
+    fast: bool = False,
+    sizes: tuple[int, ...] | None = None,
+    routines: tuple[str, ...] = ROUTINES,
+) -> ExperimentResult:
+    plat = platform if platform is not None else make_dgx1(8)
+    sizes = sizes if sizes is not None else paper_sizes(fast)
+    series: dict[str, dict[int, float | None]] = {}
+    for routine in routines:
+        series[f"{routine}/xkblas-host"] = {
+            n: best_over_tiles("xkblas", routine, n, plat, fast=fast).tflops
+            for n in sizes
+        }
+        series[f"{routine}/xkblas-dod"] = {
+            n: best_over_tiles("xkblas", routine, n, plat, scenario="device").tflops
+            for n in sizes
+        }
+        series[f"{routine}/chameleon-tile"] = {
+            n: best_over_tiles("chameleon-tile", routine, n, plat, fast=fast).tflops
+            for n in sizes
+        }
+        series[f"{routine}/cublas-xt"] = {
+            n: best_over_tiles("cublas-xt", routine, n, plat, fast=fast).tflops
+            for n in sizes
+        }
+
+    checks: dict[str, bool] = {}
+    for routine in routines:
+        host = series[f"{routine}/xkblas-host"]
+        dod = series[f"{routine}/xkblas-dod"]
+        mid = [n for n in sizes if n >= 16384]
+        checks[f"{routine}: DoD >= host at N>=16384"] = all(
+            dod[n] >= host[n] * 0.97 for n in mid
+        )
+        if len(mid) >= 2:
+            first, last = mid[0], mid[-1]
+            gap_first = dod[first] / host[first]
+            gap_last = dod[last] / host[last]
+            checks[f"{routine}: DoD/host gap shrinks with N"] = (
+                gap_last <= gap_first + 0.02
+            )
+    if "gemm" in routines:
+        near10k = min(sizes, key=lambda n: abs(n - 10240))
+        checks["GEMM DoD fast already at N~10k (>=40 TFlop/s)"] = (
+            series["gemm/xkblas-dod"][near10k] >= 40.0
+        )
+    return ExperimentResult(
+        experiment="Fig. 4",
+        title="Data-on-device (2D block-cyclic) vs data-on-host (TFlop/s)",
+        columns=["N"] + list(series),
+        rows=series_to_rows(sizes, series),
+        notes=["DoD tile size = ceil(N / #GPUs), the paper's slackness rule (§IV-C)"],
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(fast=True).render())

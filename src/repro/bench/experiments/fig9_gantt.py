@@ -1,0 +1,85 @@
+"""Fig. 9 — Gantt chart of the TRSM+GEMM composition at N = 32768.
+
+Regenerates the per-GPU activity timeline for Chameleon Tile and XKBlas and
+quantifies the synchronization gap between the two routine calls.  Shape
+criteria (§IV-F): Chameleon's barrier leaves visible idle gaps on every GPU
+between TRSM and GEMM; XKBlas overlaps the calls with no global gap.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.fig8_composition import run_composition
+from repro.bench.harness import ExperimentResult
+from repro.topology.dgx1 import make_dgx1
+from repro.topology.platform import Platform
+
+N = 32768
+NB = 2048
+#: Minimum idle period that counts as a synchronization gap (scaled up with
+#: the run's makespan at measurement time).
+GAP_THRESHOLD = 2e-3
+
+
+def gantt_ascii(trace, devices, width: int = 80) -> list[str]:
+    """Coarse ASCII Gantt: one row per GPU, '#': kernel, '~': transfer."""
+    end = trace.makespan()
+    if end == 0:
+        return []
+    lines = []
+    for dev in devices:
+        cells = [" "] * width
+        for iv in trace.filter(device=dev):
+            lo = int(iv.start / end * (width - 1))
+            hi = max(lo, int(iv.end / end * (width - 1)))
+            ch = "#" if iv.category.name == "KERNEL" else "~"
+            for x in range(lo, hi + 1):
+                if cells[x] != "#":
+                    cells[x] = ch
+        lines.append(f"gpu{dev} |" + "".join(cells) + "|")
+    return lines
+
+
+def run(
+    platform: Platform | None = None,
+    fast: bool = False,
+    n: int = N,
+    nb: int = NB,
+) -> ExperimentResult:
+    plat = platform if platform is not None else make_dgx1(8)
+    if fast:
+        n = min(n, 16384)
+    rows = []
+    gap_stats: dict[str, float] = {}
+    charts: list[str] = []
+    for lib in ("chameleon-tile", "xkblas"):
+        tflops, session = run_composition(lib, n, nb, plat, keep_runtime=True)
+        trace = session.runtime.trace
+        # Gap threshold scales with the run so the check is size-independent.
+        threshold = max(GAP_THRESHOLD, 0.004 * trace.makespan())
+        per_dev_gap = []
+        for dev in range(plat.num_gpus):
+            gaps = trace.idle_gaps(dev, min_gap=threshold)
+            total = sum(b - a for a, b in gaps)
+            per_dev_gap.append(total)
+            rows.append([lib, dev, len(gaps), round(total * 1e3, 1)])
+        gap_stats[lib] = sum(per_dev_gap) / len(per_dev_gap)
+        charts.append(f"--- {lib} (N={n}, {tflops:.1f} TFlop/s) ---")
+        charts.extend(gantt_ascii(trace, range(plat.num_gpus)))
+    checks = {
+        "Chameleon has larger synchronization gaps than XKBlas": gap_stats[
+            "chameleon-tile"
+        ]
+        > gap_stats["xkblas"],
+    }
+    return ExperimentResult(
+        experiment="Fig. 9",
+        title=f"Gantt of TRSM+GEMM at N={n}: idle gaps per GPU (> {GAP_THRESHOLD * 1e3:.0f} ms)",
+        columns=["library", "gpu", "gaps", "idle time (ms)"],
+        rows=rows,
+        notes=charts,
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(fast=True).render())

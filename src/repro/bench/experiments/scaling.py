@@ -1,0 +1,77 @@
+"""Extension experiment: strong scaling with GPU count.
+
+Not a paper figure — the paper claims "XKBlas scales on multi-GPU systems"
+(§V) but only reports the 8-GPU endpoint.  This sweep runs GEMM and SYR2K on
+1..8 GPUs of the DGX-1 wiring and reports speedups over 1 GPU, with and
+without the heuristics, quantifying how much of the scaling the two heuristics
+buy.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentResult, run_point
+from repro.topology.dgx1 import make_dgx1
+from repro.topology.platform import Platform
+
+GPU_COUNTS = (1, 2, 4, 6, 8)
+N, NB = 16384, 2048
+
+
+def run(
+    platform: Platform | None = None,  # unused; per-count platforms are built
+    fast: bool = False,
+    n: int = N,
+    nb: int = NB,
+    gpu_counts: tuple[int, ...] = GPU_COUNTS,
+    routines: tuple[str, ...] = ("gemm", "syr2k"),
+) -> ExperimentResult:
+    if fast:
+        gpu_counts = tuple(g for g in gpu_counts if g in (1, 4, 8))
+    rows = []
+    tflops: dict[tuple[str, str, int], float] = {}
+    for routine in routines:
+        for g in gpu_counts:
+            plat = make_dgx1(g)
+            for variant in ("xkblas", "xkblas-no-heuristic-no-topo"):
+                tflops[(routine, variant, g)] = run_point(
+                    variant, routine, n, nb, plat
+                ).tflops
+    for routine in routines:
+        for g in gpu_counts:
+            full = tflops[(routine, "xkblas", g)]
+            base = tflops[(routine, "xkblas-no-heuristic-no-topo", g)]
+            speedup = full / tflops[(routine, "xkblas", gpu_counts[0])]
+            rows.append(
+                [routine, g, round(full, 2), round(base, 2), round(speedup, 2)]
+            )
+    checks: dict[str, bool] = {}
+    for routine in routines:
+        series = [tflops[(routine, "xkblas", g)] for g in gpu_counts]
+        checks[f"{routine}: throughput grows with GPU count"] = all(
+            b >= a * 0.98 for a, b in zip(series, series[1:])
+        )
+        eight = tflops[(routine, "xkblas", gpu_counts[-1])]
+        one = tflops[(routine, "xkblas", gpu_counts[0])]
+        checks[f"{routine}: >=3x speedup at {gpu_counts[-1]} GPUs"] = (
+            eight >= 3.0 * one
+        )
+        gain8 = (
+            tflops[(routine, "xkblas", gpu_counts[-1])]
+            / tflops[(routine, "xkblas-no-heuristic-no-topo", gpu_counts[-1])]
+        )
+        checks[f"{routine}: heuristics help at {gpu_counts[-1]} GPUs"] = gain8 > 1.02
+    return ExperimentResult(
+        experiment="Scaling (extension)",
+        title=f"Strong scaling with GPU count, N={n}, nb={nb} (TFlop/s)",
+        columns=["routine", "#GPUs", "xkblas", "no-heuristics", "speedup vs 1 GPU"],
+        rows=rows,
+        notes=[
+            "not a paper figure: quantifies the §V scaling claim and the share"
+            " of it owed to the two heuristics",
+        ],
+        checks=checks,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(fast=True).render())

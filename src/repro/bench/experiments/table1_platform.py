@@ -1,0 +1,66 @@
+"""Table I — main characteristics of the DGX-1 multi-GPU system.
+
+Regenerates the platform-description table and verifies the simulated machine
+matches it: 8 V100-SXM2 32 GB GPUs, 2 Xeon E5-2698 v4 sockets, the hybrid
+cube-mesh link inventory (8 double + 8 single NVLink pairs) and the aggregate
+FP64 peak of 62.4 TFlop/s the paper's percentages are computed against.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.bench.harness import ExperimentResult
+from repro.topology.dgx1 import make_dgx1
+from repro.topology.link import LinkKind
+from repro.topology.platform import Platform
+
+
+def run(platform: Platform | None = None, fast: bool = False) -> ExperimentResult:
+    plat = platform if platform is not None else make_dgx1(8)
+    inventory = plat.link_inventory()
+    rows = [
+        ["Name", plat.name],
+        ["CPU", f"{len(plat.cpus)}x {plat.cpus[0].name}, {plat.cpus[0].cores} cores each"],
+        ["GPU", f"{plat.num_gpus}x {plat.gpus[0].name}"],
+        ["GPU memory", f"{plat.gpus[0].memory_bytes / config.GB:.0f} GB each"],
+        ["FP64 peak", f"{plat.aggregate_fp64_peak() / config.TFLOP:.1f} TFlop/s aggregate"],
+        ["2x NVLink pairs", inventory.get(LinkKind.NVLINK_DOUBLE, 0) // 2],
+        ["1x NVLink pairs", inventory.get(LinkKind.NVLINK_SINGLE, 0) // 2],
+        ["PCIe peer pairs", inventory.get(LinkKind.PCIE_PEER, 0) // 2],
+        ["Host link", f"x16 PCIe Gen3, {plat.host_bandwidth / config.GB:.0f} GB/s, 2 GPUs/switch"],
+    ]
+    checks = {
+        "8 GPUs": plat.num_gpus == 8,
+        "aggregate peak 62.4 TFlop/s": abs(plat.aggregate_fp64_peak() - 62.4e12) < 1e9,
+        "8 double-NVLink pairs": inventory.get(LinkKind.NVLINK_DOUBLE, 0) == 16,
+        "8 single-NVLink pairs": inventory.get(LinkKind.NVLINK_SINGLE, 0) == 16,
+        "every GPU uses 6 NVLink lanes": _lanes_ok(plat),
+        "4 PCIe switches, 2 GPUs each": [len(g) for g in plat.pcie_switch_groups] == [2, 2, 2, 2],
+    }
+    return ExperimentResult(
+        experiment="Table I",
+        title="Main characteristics of the DGX-1 multi-GPU system (Gemini)",
+        columns=["property", "value"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def _lanes_ok(plat: Platform) -> bool:
+    for dev in plat.device_ids():
+        lanes = 0
+        for other in plat.device_ids():
+            if other == dev:
+                continue
+            kind = plat.link(dev, other).kind
+            if kind is LinkKind.NVLINK_DOUBLE:
+                lanes += 2
+            elif kind is LinkKind.NVLINK_SINGLE:
+                lanes += 1
+        if lanes != 6:
+            return False
+    return True
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,227 @@
+"""Measurement harness.
+
+``run_point`` executes one (library, routine, N, nb, scenario) cell on a
+platform; ``best_over_tiles`` applies the paper's §IV-A methodology — "we only
+report results with a tile size that maximizes performance among the
+experimented tile sizes (1024, 2048, 4096) for each matrix dimension and
+library", extended up to 16384 for cuBLAS-XT and SLATE.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Sequence
+
+from repro import config
+from repro.bench.workloads import default_args, matrices_for
+from repro.errors import BenchmarkError, LibraryError
+from repro.libraries.base import LibraryResult
+from repro.libraries.registry import make_library
+from repro.topology.dgx1 import make_dgx1
+from repro.topology.platform import Platform
+
+
+def dod_tile_size(n: int, num_gpus: int = 8) -> int:
+    """The data-on-device tile rule of §IV-C: ``ceil(N / #GPUs)``-ish,
+    chosen "to ensure enough parallel slackness"."""
+    return max(256, int(math.ceil(n / num_gpus)))
+
+
+def run_point(
+    library: str,
+    routine: str,
+    n: int,
+    nb: int,
+    platform: Platform | None = None,
+    scenario: str = "host",
+    numeric: bool = False,
+    keep_runtime: bool = False,
+    k: int | None = None,
+) -> LibraryResult:
+    """Run one benchmark cell and return its :class:`LibraryResult`."""
+    platform = platform if platform is not None else make_dgx1(8)
+    lib = make_library(library, platform)
+    mats = matrices_for(routine, n, k=k, numeric=numeric)
+    args = default_args(routine)
+    routine = routine.lower()
+    kwargs = dict(nb=nb, scenario=scenario, keep_runtime=keep_runtime)
+    if routine == "gemm":
+        return lib.gemm(
+            args["alpha"], mats["a"], mats["b"], args["beta"], mats["c"],
+            transa=args["transa"], transb=args["transb"], **kwargs,
+        )
+    if routine == "symm":
+        return lib.symm(
+            args["side"], args["uplo"], args["alpha"], mats["a"], mats["b"],
+            args["beta"], mats["c"], **kwargs,
+        )
+    if routine == "syrk":
+        return lib.syrk(
+            args["uplo"], args["trans"], args["alpha"], mats["a"],
+            args["beta"], mats["c"], **kwargs,
+        )
+    if routine == "syr2k":
+        return lib.syr2k(
+            args["uplo"], args["trans"], args["alpha"], mats["a"], mats["b"],
+            args["beta"], mats["c"], **kwargs,
+        )
+    if routine == "trmm":
+        return lib.trmm(
+            args["side"], args["uplo"], args["transa"], args["diag"],
+            args["alpha"], mats["a"], mats["b"], **kwargs,
+        )
+    if routine == "trsm":
+        return lib.trsm(
+            args["side"], args["uplo"], args["transa"], args["diag"],
+            args["alpha"], mats["a"], mats["b"], **kwargs,
+        )
+    if routine == "hemm":
+        return lib.hemm(
+            args["side"], args["uplo"], args["alpha"], mats["a"], mats["b"],
+            args["beta"], mats["c"], **kwargs,
+        )
+    if routine == "herk":
+        return lib.herk(
+            args["uplo"], args["trans"], args["alpha"], mats["a"],
+            args["beta"], mats["c"], **kwargs,
+        )
+    if routine == "her2k":
+        return lib.her2k(
+            args["uplo"], args["trans"], args["alpha"], mats["a"], mats["b"],
+            args["beta"], mats["c"], **kwargs,
+        )
+    raise BenchmarkError(f"unknown routine {routine!r}")
+
+
+@dataclasses.dataclass
+class BestTileResult:
+    """The best-performing tile size for one cell, per the paper's method."""
+
+    result: LibraryResult
+    tried: dict[int, float]  # nb -> TFlop/s
+
+    @property
+    def nb(self) -> int:
+        return self.result.nb
+
+    @property
+    def tflops(self) -> float:
+        return self.result.tflops
+
+
+def tile_candidates(library: str, fast: bool = False) -> tuple[int, ...]:
+    """§IV-A tile sizes; cuBLAS-XT and SLATE get the extended set."""
+    if fast:
+        return (2048, 4096)
+    if library in ("cublas-xt", "slate"):
+        return config.PAPER_TILE_SIZES_EXTENDED
+    return config.PAPER_TILE_SIZES
+
+
+def best_over_tiles(
+    library: str,
+    routine: str,
+    n: int,
+    platform: Platform | None = None,
+    scenario: str = "host",
+    tiles: Sequence[int] | None = None,
+    fast: bool = False,
+) -> BestTileResult:
+    """Run the cell at each candidate tile size and keep the fastest."""
+    platform = platform if platform is not None else make_dgx1(8)
+    if tiles is None:
+        if scenario == "device":
+            # §IV-C slackness rule plus a finer candidate for routines whose
+            # dependency structure needs more parallelism (TRSM pivots).
+            coarse = dod_tile_size(n, platform.num_gpus)
+            tiles = tuple(dict.fromkeys((coarse, max(512, coarse // 2), 2048)))
+        else:
+            tiles = tile_candidates(library, fast=fast)
+    tried: dict[int, float] = {}
+    best: LibraryResult | None = None
+    for nb in tiles:
+        if nb >= n:
+            continue
+        if n / nb > 32:
+            # Pruned for tractability: tile sizes yielding more than 32x32
+            # output tiles never maximized performance in our sweeps (kernel
+            # efficiency drops and runtime overhead grows), and their task
+            # graphs are an order of magnitude larger to simulate.
+            continue
+        res = run_point(library, routine, n, nb, platform, scenario=scenario)
+        tried[nb] = res.tflops
+        if best is None or res.tflops > best.tflops:
+            best = res
+    if best is None:
+        raise BenchmarkError(f"no valid tile size among {tiles} for N={n}")
+    return BestTileResult(result=best, tried=tried)
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Rendered outcome of one experiment: an id, rows, and shape checks."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[list[object]]
+    notes: list[str] = dataclasses.field(default_factory=list)
+    checks: dict[str, bool] = dataclasses.field(default_factory=dict)
+
+    def render(self) -> str:
+        """Plain-text table in the style of the paper's figures."""
+        widths = [
+            max(len(str(col)), *(len(_fmt(row[i])) for row in self.rows))
+            if self.rows
+            else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for name, ok in self.checks.items():
+            lines.append(f"check [{'PASS' if ok else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def series_to_rows(
+    sizes: Iterable[int], series: dict[str, dict[int, float | None]]
+) -> list[list[object]]:
+    """Columnar layout: one row per size, one column per series."""
+    rows = []
+    for n in sizes:
+        row: list[object] = [n]
+        for name in series:
+            val = series[name].get(n)
+            row.append("-" if val is None else val)
+        rows.append(row)
+    return rows
+
+
+def safe_point(
+    library: str, routine: str, n: int, platform: Platform, **kw
+) -> float | None:
+    """Best-tile TFlop/s, or ``None`` for the figure's missing points
+    (unsupported routines, BLASX allocation failures)."""
+    try:
+        return best_over_tiles(library, routine, n, platform, **kw).tflops
+    except LibraryError:
+        return None

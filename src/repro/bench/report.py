@@ -1,0 +1,50 @@
+"""Report writers for experiment results.
+
+Renders :class:`~repro.bench.harness.ExperimentResult` objects as Markdown
+(used to generate ``EXPERIMENTS.md``) or CSV, so full-sweep outputs become
+durable artifacts instead of terminal scrollback.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable
+
+from repro.bench.harness import ExperimentResult, _fmt
+
+
+def to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a Markdown section with a table and check list."""
+    lines = [f"### {result.experiment} — {result.title}", ""]
+    lines.append("| " + " | ".join(str(c) for c in result.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in result.columns) + "|")
+    for row in result.rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    lines.append("")
+    for note in result.notes:
+        lines.append(f"> {note}")
+    if result.notes:
+        lines.append("")
+    for name, ok in result.checks.items():
+        lines.append(f"- {'✅' if ok else '❌'} {name}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """One experiment's rows as CSV (checks/notes omitted)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow([_fmt(v) for v in row])
+    return buf.getvalue()
+
+
+def combined_markdown(results: Iterable[ExperimentResult], header: str = "") -> str:
+    """All experiments concatenated into one Markdown document."""
+    parts = [header] if header else []
+    for result in results:
+        parts.append(to_markdown(result))
+    return "\n".join(parts)

@@ -1,0 +1,88 @@
+"""Workload generation for the experiments.
+
+Builds the operand matrices of each routine (perf-mode metadata by default,
+numeric NumPy matrices for validation runs) and defines the matrix-dimension
+sweeps of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.blas.params import Side, Trans, Uplo
+from repro.errors import BenchmarkError
+from repro.memory.matrix import Matrix
+
+#: The paper sweeps square matrices from ~4096 up to ~65536 (Figs. 3-5, 8).
+FULL_SIZES = (4096, 8192, 12288, 16384, 20480, 24576, 32768, 40960, 49152)
+#: Reduced sweep used by the pytest benchmarks and ``--fast`` CLI runs.
+FAST_SIZES = (10240, 16384, 32768)
+
+
+def paper_sizes(fast: bool = False) -> tuple[int, ...]:
+    return FAST_SIZES if fast else FULL_SIZES
+
+
+def matrices_for(
+    routine: str,
+    n: int,
+    k: int | None = None,
+    numeric: bool = False,
+    seed: int = 0,
+) -> dict[str, Matrix]:
+    """Operand matrices of one routine invocation (square C, inner dim k=n).
+
+    Keys follow the BLAS argument names: ``a``, ``b`` (when present), ``c``
+    (GEMM/SYMM/SYRK/SYR2K) or ``b`` as the in-place operand (TRMM/TRSM).
+    """
+    k = n if k is None else k
+
+    def make(m_, n_, name, spd=False):
+        if not numeric:
+            return Matrix.meta(m_, n_, name=name)
+        mat = Matrix.random(m_, n_, seed=seed + sum(ord(ch) for ch in name), name=name)
+        if spd:
+            arr = mat.to_array()
+            arr += arr.T.copy()
+            arr[range(m_), range(m_)] += m_  # diagonally dominant
+        return mat
+
+    routine = routine.lower()
+    if routine == "gemm":
+        return {"a": make(n, k, "A"), "b": make(k, n, "B"), "c": make(n, n, "C")}
+    if routine in ("symm", "hemm"):
+        return {"a": make(n, n, "A"), "b": make(n, n, "B"), "c": make(n, n, "C")}
+    if routine in ("syrk", "herk"):
+        return {"a": make(n, k, "A"), "c": make(n, n, "C")}
+    if routine in ("syr2k", "her2k"):
+        return {"a": make(n, k, "A"), "b": make(n, k, "B"), "c": make(n, n, "C")}
+    if routine in ("trmm", "trsm"):
+        return {"a": make(n, n, "A", spd=True), "b": make(n, n, "B")}
+    raise BenchmarkError(f"unknown routine {routine!r}")
+
+
+def default_args(routine: str) -> dict:
+    """Default BLAS parameters used across the paper's experiments (FP64,
+    lower/left/non-transposed, alpha=1)."""
+    routine = routine.lower()
+    if routine == "gemm":
+        return {"alpha": 1.0, "beta": 0.0, "transa": Trans.NOTRANS, "transb": Trans.NOTRANS}
+    if routine in ("symm", "hemm"):
+        return {"side": Side.LEFT, "uplo": Uplo.LOWER, "alpha": 1.0, "beta": 0.0}
+    if routine in ("syrk", "herk", "syr2k", "her2k"):
+        return {"uplo": Uplo.LOWER, "trans": Trans.NOTRANS, "alpha": 1.0, "beta": 0.0}
+    if routine in ("trmm", "trsm"):
+        from repro.blas.params import Diag
+
+        return {
+            "side": Side.LEFT,
+            "uplo": Uplo.LOWER,
+            "transa": Trans.NOTRANS,
+            "diag": Diag.NONUNIT,
+            "alpha": 1.0,
+        }
+    raise BenchmarkError(f"unknown routine {routine!r}")
+
+
+def round_up(n: int, multiple: int) -> int:
+    return int(math.ceil(n / multiple)) * multiple

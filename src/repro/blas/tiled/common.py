@@ -1,0 +1,45 @@
+"""Shared helpers for the tiled algorithm builders."""
+
+from __future__ import annotations
+
+from repro.blas.flops import KERNEL_REGULARITY
+from repro.errors import BlasValidationError
+from repro.memory.layout import TilePartition
+from repro.memory.tile import Tile
+from repro.runtime.access import Access, AccessMode
+from repro.runtime.task import Task
+from repro.topology.device import characteristic_dim
+
+
+def make_task(
+    name: str,
+    reads: list[Tile],
+    rw: Tile,
+    flops: float,
+    kernel,
+    dims: tuple[int, ...],
+    write_only: bool = False,
+) -> Task:
+    """Build one tile task: ``reads`` then the output tile accessed RW (or W)."""
+    mode = AccessMode.WRITE if write_only else AccessMode.READWRITE
+    accesses = [Access(t, AccessMode.READ) for t in reads] + [Access(rw, mode)]
+    return Task(
+        name=name,
+        accesses=accesses,
+        flops=flops,
+        dim=characteristic_dim(*dims),
+        kernel=kernel,
+        regularity=KERNEL_REGULARITY.get(name.lstrip("dszc"), 1.0),
+    )
+
+
+def check_same_nb(*partitions: TilePartition) -> int:
+    nbs = {p.nb for p in partitions}
+    if len(nbs) != 1:
+        raise BlasValidationError(f"operand partitions disagree on nb: {sorted(nbs)}")
+    return nbs.pop()
+
+
+def require(cond: bool, message: str) -> None:
+    if not cond:
+        raise BlasValidationError(message)

@@ -1,0 +1,68 @@
+"""Tiled GEMM: ``C = alpha op(A) op(B) + beta C``.
+
+The canonical PLASMA tile algorithm: for every output tile ``C[i, j]`` a chain
+of ``kt`` GEMM tasks accumulates the panel products sequentially (the chain on
+``C[i, j]`` carries the dependency; the owner-computes scheduler therefore
+keeps each chain on one GPU while different ``(i, j)`` chains parallelize).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blas import flops as fl
+from repro.blas.kernels import k_gemm
+from repro.blas.params import Trans
+from repro.blas.tiled.common import check_same_nb, make_task, require
+from repro.memory.layout import TilePartition
+from repro.memory.tile import Tile
+from repro.runtime.task import Task
+
+
+def _op_tile(part: TilePartition, trans: Trans, i: int, l: int) -> Tile:
+    """Tile ``(i, l)`` of ``op(X)``: index-swap under transposition."""
+    return part[(i, l)] if trans is Trans.NOTRANS else part[(l, i)]
+
+
+def build_gemm(
+    alpha: float,
+    a: TilePartition,
+    b: TilePartition,
+    beta: float,
+    c: TilePartition,
+    transa: Trans = Trans.NOTRANS,
+    transb: Trans = Trans.NOTRANS,
+) -> Iterator[Task]:
+    """Yield the GEMM task graph in submission order."""
+    check_same_nb(a, b, c)
+    mt, nt = c.shape
+    amt, ant = a.shape
+    kt = ant if transa is Trans.NOTRANS else amt
+    op_a_rows = amt if transa is Trans.NOTRANS else ant
+    bmt, bnt = b.shape
+    op_b_rows = bmt if transb is Trans.NOTRANS else bnt
+    op_b_cols = bnt if transb is Trans.NOTRANS else bmt
+    require(op_a_rows == mt, f"gemm: op(A) tile rows {op_a_rows} != C rows {mt}")
+    require(op_b_rows == kt, f"gemm: op(B) tile rows {op_b_rows} != inner {kt}")
+    require(op_b_cols == nt, f"gemm: op(B) tile cols {op_b_cols} != C cols {nt}")
+
+    for j in range(nt):
+        for i in range(mt):
+            ctile = c[(i, j)]
+            for l in range(kt):
+                atile = _op_tile(a, transa, i, l)
+                btile = _op_tile(b, transb, l, j)
+                lbeta = beta if l == 0 else 1.0
+                kb = atile.n if transa is Trans.NOTRANS else atile.m
+                # With beta == 0 the first task of the chain overwrites C: no
+                # need to read (or transfer) the old tile, like real GEMMs.
+                write_only = l == 0 and beta == 0.0
+                yield make_task(
+                    "gemm",
+                    reads=[atile, btile],
+                    rw=ctile,
+                    flops=fl.gemm_flops(ctile.m, ctile.n, kb),
+                    kernel=k_gemm(alpha, lbeta, transa, transb),
+                    dims=(ctile.m, ctile.n, kb),
+                    write_only=write_only,
+                )

@@ -1,0 +1,140 @@
+"""Tiled SYMM/HEMM: ``C = alpha sym(A) B + beta C`` (left) or right analogue.
+
+Off-diagonal blocks of the symmetric operand are read through the stored
+triangle: when the needed block lies in the unstored triangle it is accessed
+as the transpose (conjugate-transpose for HEMM) of its stored mirror — no
+extra storage, matching the LAPACK-layout discipline of XKBLAS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blas import flops as fl
+from repro.blas.kernels import k_gemm, k_symm
+from repro.blas.params import Side, Trans, Uplo
+from repro.blas.tiled.common import check_same_nb, make_task, require
+from repro.memory.layout import TilePartition
+from repro.runtime.task import Task
+
+
+def build_symm(
+    side: Side,
+    uplo: Uplo,
+    alpha: float,
+    a: TilePartition,
+    b: TilePartition,
+    beta: float,
+    c: TilePartition,
+    hermitian: bool = False,
+) -> Iterator[Task]:
+    """Yield the SYMM (or HEMM) task graph in submission order."""
+    check_same_nb(a, b, c)
+    mt, nt = c.shape
+    require(b.shape == c.shape, f"symm: B {b.shape} and C {c.shape} differ")
+    order = mt if side is Side.LEFT else nt
+    require(
+        a.shape == (order, order),
+        f"symm: A {a.shape} must be square of order {order}",
+    )
+    name = "hemm" if hermitian else "symm"
+    mirror_t = Trans.CONJTRANS if hermitian else Trans.TRANS
+
+    def stored(k: int, l: int) -> bool:
+        """Is block (k, l) of A in the stored triangle?"""
+        return k >= l if uplo is Uplo.LOWER else k <= l
+
+    for j in range(nt):
+        for i in range(mt):
+            ctile = c[(i, j)]
+            if side is Side.LEFT:
+                # C[i,j] = alpha sum_k sym(A)[i,k] B[k,j] + beta C[i,j]
+                for k in range(mt):
+                    lbeta = beta if k == 0 else 1.0
+                    if k == i:
+                        atile = a[(i, i)]
+                        yield make_task(
+                            name,
+                            reads=[atile, b[(k, j)]],
+                            rw=ctile,
+                            flops=fl.gemm_flops(ctile.m, ctile.n, atile.n),
+                            kernel=k_symm(Side.LEFT, uplo, alpha, lbeta, hermitian),
+                            dims=(ctile.m, ctile.n, atile.n),
+                        )
+                    elif stored(i, k):
+                        atile = a[(i, k)]
+                        yield make_task(
+                            "gemm",
+                            reads=[atile, b[(k, j)]],
+                            rw=ctile,
+                            flops=fl.gemm_flops(ctile.m, ctile.n, atile.n),
+                            kernel=k_gemm(alpha, lbeta, Trans.NOTRANS, Trans.NOTRANS),
+                            dims=(ctile.m, ctile.n, atile.n),
+                        )
+                    else:  # read through the mirror block (k, i)
+                        atile = a[(k, i)]
+                        yield make_task(
+                            "gemm",
+                            reads=[atile, b[(k, j)]],
+                            rw=ctile,
+                            flops=fl.gemm_flops(ctile.m, ctile.n, atile.m),
+                            kernel=k_gemm(alpha, lbeta, mirror_t, Trans.NOTRANS),
+                            dims=(ctile.m, ctile.n, atile.m),
+                        )
+            else:
+                # C[i,j] = alpha sum_k B[i,k] sym(A)[k,j] + beta C[i,j]
+                for k in range(nt):
+                    lbeta = beta if k == 0 else 1.0
+                    if k == j:
+                        atile = a[(j, j)]
+                        yield make_task(
+                            name,
+                            reads=[atile, b[(i, k)]],
+                            rw=ctile,
+                            flops=fl.gemm_flops(ctile.m, ctile.n, atile.m),
+                            kernel=_symm_right_kernel(uplo, alpha, lbeta, hermitian),
+                            dims=(ctile.m, ctile.n, atile.m),
+                        )
+                    elif stored(k, j):
+                        atile = a[(k, j)]
+                        yield make_task(
+                            "gemm",
+                            reads=[b[(i, k)], atile],
+                            rw=ctile,
+                            flops=fl.gemm_flops(ctile.m, ctile.n, atile.m),
+                            kernel=k_gemm(alpha, lbeta, Trans.NOTRANS, Trans.NOTRANS),
+                            dims=(ctile.m, ctile.n, atile.m),
+                        )
+                    else:  # mirror block (j, k), transposed
+                        atile = a[(j, k)]
+                        yield make_task(
+                            "gemm",
+                            reads=[b[(i, k)], atile],
+                            rw=ctile,
+                            flops=fl.gemm_flops(ctile.m, ctile.n, atile.n),
+                            kernel=k_gemm(alpha, lbeta, Trans.NOTRANS, mirror_t),
+                            dims=(ctile.m, ctile.n, atile.n),
+                        )
+
+
+def _symm_right_kernel(uplo: Uplo, alpha: float, beta: float, hermitian: bool):
+    """Right-side SYMM kernel over arrays ``(a, b, c)``: ``c = alpha b sym(a) + beta c``."""
+    inner = k_symm(Side.RIGHT, uplo, alpha, beta, hermitian)
+
+    def kernel(a, b, c):
+        inner(a, b, c)
+
+    return kernel
+
+
+def build_hemm(
+    side: Side,
+    uplo: Uplo,
+    alpha: float,
+    a: TilePartition,
+    b: TilePartition,
+    beta: float,
+    c: TilePartition,
+) -> Iterator[Task]:
+    """HEMM = Hermitian SYMM."""
+    return build_symm(side, uplo, alpha, a, b, beta, c, hermitian=True)

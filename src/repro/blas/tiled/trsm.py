@@ -1,0 +1,110 @@
+"""Tiled TRSM: in-place solve ``op(tri(A)) X = alpha B`` (left) or right analogue.
+
+The PLASMA substitution pattern: at each pivot step the diagonal tile solves a
+panel, then trailing panels are updated with GEMMs.  ``alpha`` is folded into
+the *first* operation touching each tile (``lalpha``/``lbeta``), so no
+separate scaling pass is needed.
+
+TRSM carries real inter-step dependencies (each pivot panel feeds all trailing
+updates), which is why it composes so well with a following GEMM in the
+paper's Fig. 8 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blas import flops as fl
+from repro.blas.kernels import k_gemm, k_trsm
+from repro.blas.params import Diag, Side, Trans, Uplo
+from repro.blas.tiled.common import check_same_nb, make_task, require
+from repro.memory.layout import TilePartition
+from repro.runtime.task import Task
+
+
+def build_trsm(
+    side: Side,
+    uplo: Uplo,
+    transa: Trans,
+    diag: Diag,
+    alpha: float,
+    a: TilePartition,
+    b: TilePartition,
+) -> Iterator[Task]:
+    """Yield the TRSM task graph in submission order."""
+    check_same_nb(a, b)
+    mt, nt = b.shape
+    order = mt if side is Side.LEFT else nt
+    require(a.shape == (order, order), f"trsm: A {a.shape} must be {order}x{order}")
+    notrans = transa is Trans.NOTRANS
+
+    if side is Side.LEFT:
+        # forward substitution for lower-N / upper-T, backward otherwise
+        forward = (uplo is Uplo.LOWER) == notrans
+        pivots = range(mt) if forward else range(mt - 1, -1, -1)
+        first = 0 if forward else mt - 1
+        for k in pivots:
+            lscale = alpha if k == first else 1.0
+            adiag = a[(k, k)]
+            for j in range(nt):
+                btile = b[(k, j)]
+                yield make_task(
+                    "trsm",
+                    reads=[adiag],
+                    rw=btile,
+                    flops=fl.trsm_flops(True, btile.m, btile.n),
+                    kernel=k_trsm(Side.LEFT, uplo, transa, diag, lscale),
+                    dims=(btile.m, btile.n, adiag.n),
+                )
+            trailing = range(k + 1, mt) if forward else range(k)
+            for i in trailing:
+                if notrans:
+                    ablock, ta = a[(i, k)], Trans.NOTRANS
+                else:
+                    ablock, ta = a[(k, i)], transa
+                for j in range(nt):
+                    btile = b[(i, j)]
+                    xtile = b[(k, j)]
+                    yield make_task(
+                        "gemm",
+                        reads=[ablock, xtile],
+                        rw=btile,
+                        flops=fl.gemm_flops(btile.m, btile.n, xtile.m),
+                        kernel=k_gemm(-1.0, lscale, ta, Trans.NOTRANS),
+                        dims=(btile.m, btile.n, xtile.m),
+                    )
+    else:
+        # X op(A) = alpha B: backward over columns for lower-N / upper-T
+        backward = (uplo is Uplo.LOWER) == notrans
+        pivots = range(nt - 1, -1, -1) if backward else range(nt)
+        first = nt - 1 if backward else 0
+        for k in pivots:
+            lscale = alpha if k == first else 1.0
+            adiag = a[(k, k)]
+            for i in range(mt):
+                btile = b[(i, k)]
+                yield make_task(
+                    "trsm",
+                    reads=[adiag],
+                    rw=btile,
+                    flops=fl.trsm_flops(False, btile.m, btile.n),
+                    kernel=k_trsm(Side.RIGHT, uplo, transa, diag, lscale),
+                    dims=(btile.m, btile.n, adiag.m),
+                )
+            trailing = range(k) if backward else range(k + 1, nt)
+            for j in trailing:
+                if notrans:
+                    ablock, ta = a[(k, j)], Trans.NOTRANS
+                else:
+                    ablock, ta = a[(j, k)], transa
+                for i in range(mt):
+                    btile = b[(i, j)]
+                    xtile = b[(i, k)]
+                    yield make_task(
+                        "gemm",
+                        reads=[xtile, ablock],
+                        rw=btile,
+                        flops=fl.gemm_flops(btile.m, btile.n, xtile.n),
+                        kernel=k_gemm(-1.0, lscale, Trans.NOTRANS, ta),
+                        dims=(btile.m, btile.n, xtile.n),
+                    )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers can
+catch everything coming out of the simulated BLAS stack with a single except
+clause while still being able to discriminate the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid platform descriptions (unknown device, bad link...)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event engine for inconsistent event usage."""
+
+
+class MemoryViewError(ReproError):
+    """Raised for invalid LAPACK memory-view operations (bad sub-view bounds...)."""
+
+
+class CoherenceError(ReproError):
+    """Raised when the software cache detects an impossible state transition."""
+
+
+class DeviceOutOfMemoryError(ReproError):
+    """Raised when a device allocation cannot be satisfied even after eviction."""
+
+
+class SchedulingError(ReproError):
+    """Raised by schedulers on impossible mappings (no eligible device...)."""
+
+
+class TaskGraphError(ReproError):
+    """Raised when a task graph is malformed (cycles, unknown tiles...)."""
+
+
+class BlasValidationError(ReproError):
+    """Raised for invalid BLAS arguments (dimension mismatch, bad uplo/side...)."""
+
+
+class LibraryError(ReproError):
+    """Raised when a simulated comparator library cannot run a routine.
+
+    For instance BLASX, cuBLAS-MG and DPLASMA only implement GEMM, matching the
+    missing points of the paper's Figure 5.
+    """
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness for inconsistent experiment setups."""

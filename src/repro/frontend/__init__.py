@@ -1,0 +1,14 @@
+"""Drop-in BLAS frontend (the NVBLAS scenario of §IV-D).
+
+The paper's target application is legacy code calling standard BLAS with
+character arguments and LAPACK-layout arrays; cuBLAS-XT (via NVBLAS) and
+XKBLAS both ship interposition libraries that trap those calls.  This package
+is the simulated analogue: :class:`~repro.frontend.blas3.BlasFrontend` exposes
+the classic Fortran-flavoured entry points (``dgemm("N", "T", ...)``) over
+NumPy arrays, routing them to any simulated library — so a legacy-style code
+path can be benchmarked against every backend without modification.
+"""
+
+from repro.frontend.blas3 import BlasFrontend
+
+__all__ = ["BlasFrontend"]

@@ -1,0 +1,24 @@
+"""Tiled SPD inversion (POTRI) — pure composition of TRTRI and LAUUM.
+
+Given the Cholesky factor ``L`` (``A = L Lᴴ``), the inverse is
+``A⁻¹ = L⁻ᴴ L⁻¹``: invert the triangular factor in place, then form the
+triangular product — LAPACK's ``potri`` decomposed exactly the same way.
+Submitted through one runtime, the LAUUM stage starts consuming inverted
+tiles while the TRTRI stage is still running.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blas.params import Diag, Uplo
+from repro.lapack.lauum import build_lauum
+from repro.lapack.trtri import build_trtri
+from repro.memory.layout import TilePartition
+from repro.runtime.task import Task
+
+
+def build_potri(uplo: Uplo, a: TilePartition) -> Iterator[Task]:
+    """Yield the composed POTRI task graph (TRTRI then LAUUM) in order."""
+    yield from build_trtri(uplo, Diag.NONUNIT, a)
+    yield from build_lauum(uplo, a)

@@ -1,0 +1,36 @@
+"""Simulated multi-GPU BLAS libraries.
+
+One class per library the paper evaluates, each a configuration of the shared
+runtime substrate reproducing that library's documented design decisions
+(DESIGN.md §2).  All of them run the *same* tiled algorithms over the *same*
+simulated platform, so performance differences come only from scheduling, data
+management and per-call semantics — mirroring the paper's observation that
+"the performance differences between XKBlas and Chameleon were only due to:
+unnecessary copies...; the runtime systems...; our heuristics" (§IV-D).
+"""
+
+from repro.libraries.base import LibraryResult, SimulatedLibrary
+from repro.libraries.blasx import Blasx
+from repro.libraries.chameleon import ChameleonLapack, ChameleonTile
+from repro.libraries.cublasmg import CublasMg
+from repro.libraries.cublasxt import CublasXt
+from repro.libraries.dplasma import Dplasma
+from repro.libraries.registry import LIBRARIES, XKBLAS_VARIANTS, make_library
+from repro.libraries.slate import Slate
+from repro.libraries.xkblas import XkBlas
+
+__all__ = [
+    "Blasx",
+    "ChameleonLapack",
+    "ChameleonTile",
+    "CublasMg",
+    "CublasXt",
+    "Dplasma",
+    "LIBRARIES",
+    "LibraryResult",
+    "SimulatedLibrary",
+    "Slate",
+    "XKBLAS_VARIANTS",
+    "XkBlas",
+    "make_library",
+]

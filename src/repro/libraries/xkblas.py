@@ -1,0 +1,77 @@
+"""XKBLAS — the paper's library, in four variants.
+
+* ``XkBlas`` — both heuristics enabled (the "XKBlas" curves);
+* ``XkBlasNoHeuristic`` — optimistic device-to-device forwarding disabled,
+  topology-aware ranking kept ("XKBlas, no heuristic");
+* ``XkBlasNoTopo`` — neither heuristic ("XKBlas, no heuristic, no topo");
+* ``XkBlasDoD`` — the full library driven with the data-on-device scenario
+  (a convenience wrapper; any variant accepts ``scenario="device"``).
+
+All variants share the XKaapi substrate: lightweight task creation,
+locality-aware work stealing, read-only-first eviction, one stream per
+operation type with several kernel streams, asynchronous semantics with lazy
+CPU coherence.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.libraries.base import LibraryResult, SimulatedLibrary
+from repro.memory.cache import ReadOnlyFirstPolicy
+from repro.runtime.api import RuntimeOptions
+from repro.runtime.policies import SourcePolicy
+
+
+class XkBlas(SimulatedLibrary):
+    """XKBLAS with the two topology-aware heuristics enabled (§III-B/C)."""
+
+    name = "XKBlas"
+    source_policy = SourcePolicy.TOPOLOGY_OPTIMISTIC
+
+    def runtime_options(self) -> RuntimeOptions:
+        return RuntimeOptions(
+            source_policy=self.source_policy,
+            scheduler="xkaapi-locality-ws",
+            eviction=ReadOnlyFirstPolicy.name,
+            task_overhead=config.XKAAPI_TASK_OVERHEAD,
+            kernel_streams=config.DEFAULT_KERNEL_STREAMS,
+            overlap=True,
+        )
+
+
+class XkBlasNoHeuristic(XkBlas):
+    """XKBLAS with the optimistic D2D heuristic disabled (Fig. 3's middle bar)."""
+
+    name = "XKBlas, no heuristic"
+    source_policy = SourcePolicy.TOPOLOGY
+
+
+class XkBlasNoTopo(XkBlas):
+    """XKBLAS with both heuristics disabled (Fig. 3's last bar)."""
+
+    name = "XKBlas, no heuristic, no topo"
+    source_policy = SourcePolicy.ANY_VALID
+
+
+class XkBlasDoD(XkBlas):
+    """XKBLAS with matrices pre-distributed 2D-block-cyclically on devices."""
+
+    name = "XKBlas DoD"
+
+    def gemm(self, *args, scenario: str = "device", **kwargs) -> LibraryResult:
+        return super().gemm(*args, scenario=scenario, **kwargs)
+
+    def symm(self, *args, scenario: str = "device", **kwargs) -> LibraryResult:
+        return super().symm(*args, scenario=scenario, **kwargs)
+
+    def syrk(self, *args, scenario: str = "device", **kwargs) -> LibraryResult:
+        return super().syrk(*args, scenario=scenario, **kwargs)
+
+    def syr2k(self, *args, scenario: str = "device", **kwargs) -> LibraryResult:
+        return super().syr2k(*args, scenario=scenario, **kwargs)
+
+    def trmm(self, *args, scenario: str = "device", **kwargs) -> LibraryResult:
+        return super().trmm(*args, scenario=scenario, **kwargs)
+
+    def trsm(self, *args, scenario: str = "device", **kwargs) -> LibraryResult:
+        return super().trsm(*args, scenario=scenario, **kwargs)

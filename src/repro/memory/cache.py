@@ -1,0 +1,245 @@
+"""Per-device software caches and eviction policies.
+
+Each simulated GPU owns a :class:`DeviceCache` accounting for the tiles
+resident in its memory.  When an allocation does not fit, an
+:class:`EvictionPolicy` chooses victims among the unpinned resident tiles:
+
+* :class:`ReadOnlyFirstPolicy` — XKaapi's policy ("the eviction strategy
+  prioritizes read-only data first", paper §II-C/§III-A): clean (SHARED)
+  replicas are evicted before dirty (MODIFIED) ones, LRU within each class.
+  Evicting a clean replica is free; a dirty one costs a write-back.
+* :class:`LruPolicy` — plain least-recently-used, the ablation baseline.
+* :class:`Blasx2LevelPolicy` — an approximation of BLASX's two-level cache
+  (§II-C): tiles that other devices also hold (or held) are demoted last, so
+  replicas useful as GPU-to-GPU sources survive longer.
+
+The cache itself never touches coherence state: it *selects* victims; the
+runtime performs write-backs and directory updates, keeping the two substrates
+independently testable.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Callable, Iterable
+
+from repro.errors import CoherenceError, DeviceOutOfMemoryError
+from repro.memory.tile import TileKey
+
+
+@dataclasses.dataclass(slots=True)
+class _Resident:
+    key: TileKey
+    nbytes: int
+    last_use: float
+    pins: int = 0
+    dirty: bool = False
+    shared_elsewhere: bool = False
+
+
+class DeviceCache:
+    """Byte-accounted set of tiles resident on one device."""
+
+    def __init__(self, device: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise CoherenceError(f"device {device}: cache capacity must be positive")
+        self.device = device
+        self.capacity = capacity
+        self._resident: dict[TileKey, _Resident] = {}
+        self._used = 0
+        self._clock = 0.0
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- residency
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._used
+
+    def contains(self, key: TileKey) -> bool:
+        return key in self._resident
+
+    def __contains__(self, key: TileKey) -> bool:
+        return key in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def resident_keys(self) -> list[TileKey]:
+        return list(self._resident)
+
+    def insert(self, key: TileKey, nbytes: int, now: float = 0.0) -> None:
+        """Account for a new resident tile (space must have been ensured)."""
+        if key in self._resident:
+            raise CoherenceError(f"{key} already resident on device {self.device}")
+        if nbytes > self.free:
+            raise DeviceOutOfMemoryError(
+                f"device {self.device}: inserting {nbytes} B with only "
+                f"{self.free} B free (capacity {self.capacity})"
+            )
+        self._resident[key] = _Resident(key=key, nbytes=nbytes, last_use=now)
+        self._used += nbytes
+
+    def remove(self, key: TileKey) -> int:
+        """Drop a resident tile; returns its size."""
+        entry = self._resident.get(key)
+        if entry is None:
+            raise CoherenceError(f"{key} not resident on device {self.device}")
+        if entry.pins:
+            raise CoherenceError(f"{key} is pinned on device {self.device}")
+        del self._resident[key]
+        self._used -= entry.nbytes
+        return entry.nbytes
+
+    # ------------------------------------------------------------ annotations
+
+    def touch(self, key: TileKey, now: float) -> None:
+        """Record a use (kernel read/write or transfer source) for recency."""
+        entry = self._resident.get(key)
+        if entry is None:
+            raise CoherenceError(f"{key} not resident on device {self.device}")
+        entry.last_use = max(entry.last_use, now)
+
+    def pin(self, key: TileKey) -> None:
+        """Protect a tile from eviction (inputs of a scheduled task)."""
+        self._resident[key].pins += 1
+
+    def unpin(self, key: TileKey) -> None:
+        entry = self._resident[key]
+        if entry.pins <= 0:
+            raise CoherenceError(f"{key}: unbalanced unpin on device {self.device}")
+        entry.pins -= 1
+
+    def mark_dirty(self, key: TileKey, dirty: bool = True) -> None:
+        self._resident[key].dirty = dirty
+
+    def mark_shared_elsewhere(self, key: TileKey, flag: bool = True) -> None:
+        entry = self._resident.get(key)
+        if entry is not None:
+            entry.shared_elsewhere = flag
+
+    def is_dirty(self, key: TileKey) -> bool:
+        return self._resident[key].dirty
+
+    # --------------------------------------------------------------- lookups
+
+    def record_access(self, key: TileKey) -> bool:
+        """Hit/miss accounting; returns True on hit."""
+        if key in self._resident:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def evictable(self) -> list[_Resident]:
+        return [e for e in self._resident.values() if e.pins == 0]
+
+    def stats(self) -> dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "evictions": self.evictions,
+            "used_bytes": self._used,
+            "resident_tiles": len(self._resident),
+        }
+
+
+class EvictionPolicy(abc.ABC):
+    """Chooses which resident tiles to evict to fit a new allocation."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def victim_order(self, candidates: list[_Resident]) -> list[_Resident]:
+        """Sort evictable residents, best victim first."""
+
+    def choose_victims(
+        self,
+        cache: DeviceCache,
+        needed: int,
+        protect: Iterable[TileKey] = (),
+    ) -> list[TileKey]:
+        """Pick victims freeing at least ``needed`` bytes beyond current free.
+
+        Raises :class:`DeviceOutOfMemoryError` when even evicting everything
+        unpinned cannot satisfy the request.
+        """
+        deficit = needed - cache.free
+        if deficit <= 0:
+            return []
+        protected = set(protect)
+        candidates = [e for e in cache.evictable() if e.key not in protected]
+        victims: list[TileKey] = []
+        freed = 0
+        for entry in self.victim_order(candidates):
+            victims.append(entry.key)
+            freed += entry.nbytes
+            if freed >= deficit:
+                return victims
+        raise DeviceOutOfMemoryError(
+            f"device {cache.device}: need {needed} B, free {cache.free} B, "
+            f"only {freed} B evictable"
+        )
+
+
+class LruPolicy(EvictionPolicy):
+    """Evict least-recently-used first, regardless of dirtiness."""
+
+    name = "lru"
+
+    def victim_order(self, candidates: list[_Resident]) -> list[_Resident]:
+        return sorted(candidates, key=lambda e: (e.last_use, e.key.matrix_id, e.key.i, e.key.j))
+
+
+class ReadOnlyFirstPolicy(EvictionPolicy):
+    """XKaapi: clean replicas first (free to drop), then dirty, LRU inside."""
+
+    name = "read-only-first"
+
+    def victim_order(self, candidates: list[_Resident]) -> list[_Resident]:
+        return sorted(
+            candidates,
+            key=lambda e: (e.dirty, e.last_use, e.key.matrix_id, e.key.i, e.key.j),
+        )
+
+
+class Blasx2LevelPolicy(EvictionPolicy):
+    """BLASX-like: keep tiles replicated on other devices longer.
+
+    BLASX organizes its software cache in two levels so that replicas that can
+    serve GPU-to-GPU transfers stay resident.  We model that preference by
+    evicting, in order: clean tiles *not* shared elsewhere (useless as P2P
+    sources once gone), then clean shared ones, then dirty ones — LRU within
+    each class.
+    """
+
+    name = "blasx-2level"
+
+    def victim_order(self, candidates: list[_Resident]) -> list[_Resident]:
+        return sorted(
+            candidates,
+            key=lambda e: (
+                e.dirty,
+                e.shared_elsewhere,
+                e.last_use,
+                e.key.matrix_id,
+                e.key.i,
+                e.key.j,
+            ),
+        )
+
+
+POLICIES: dict[str, Callable[[], EvictionPolicy]] = {
+    LruPolicy.name: LruPolicy,
+    ReadOnlyFirstPolicy.name: ReadOnlyFirstPolicy,
+    Blasx2LevelPolicy.name: Blasx2LevelPolicy,
+}

@@ -1,0 +1,249 @@
+"""Tile coherence directory.
+
+Tracks, for every tile, which locations hold a valid replica — a simplified
+MOSI protocol like the XKaapi software cache the paper builds on (§II-C,
+§III-A), with one extension that *is* the paper's second contribution: the
+metadata also records replicas **under transfer** ("a state indicating that a
+data is under transfer to a specific GPU", §III-C), so the transfer manager
+can optimistically chain a device-to-device forward onto an in-flight
+host-to-device copy instead of issuing a second PCIe transfer.
+
+States per (tile, location):
+
+* ``INVALID`` — no replica (the default; absent from the maps).
+* ``SHARED`` — a valid read replica; any number of locations may be SHARED.
+* ``MODIFIED`` — the unique up-to-date replica after a write; every other
+  location is invalidated.
+
+The host is location :data:`~repro.topology.link.HOST` (-1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import CoherenceError
+from repro.memory.tile import TileKey
+from repro.topology.link import HOST
+
+
+class ReplicaState(enum.Enum):
+    SHARED = "S"
+    MODIFIED = "M"
+
+
+@dataclasses.dataclass(slots=True)
+class InFlight:
+    """An in-flight transfer of one tile to ``dst``.
+
+    ``completes_at`` is the virtual time the replica becomes valid; ``source``
+    is where the bytes come from (device id or HOST).  ``generation`` guards
+    against ABA: a write invalidates outstanding flights by bumping the tile
+    generation.
+    """
+
+    dst: int
+    completes_at: float
+    source: int
+    generation: int
+
+
+@dataclasses.dataclass(slots=True)
+class _TileEntry:
+    states: dict[int, ReplicaState] = dataclasses.field(default_factory=dict)
+    in_flight: dict[int, InFlight] = dataclasses.field(default_factory=dict)
+    generation: int = 0
+
+
+class CoherenceDirectory:
+    """Replica states and in-flight metadata for all tiles of one execution.
+
+    Tiles start host-valid by default (``data-on-host`` scenario).  The
+    data-on-device scenario seeds device replicas via :meth:`seed_device`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[TileKey, _TileEntry] = {}
+
+    def _entry(self, key: TileKey) -> _TileEntry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _TileEntry(states={HOST: ReplicaState.SHARED})
+            self._entries[key] = entry
+        return entry
+
+    # -------------------------------------------------------------- queries
+
+    def state(self, key: TileKey, location: int) -> ReplicaState | None:
+        """State of the replica at ``location`` (None == INVALID)."""
+        return self._entry(key).states.get(location)
+
+    def is_valid(self, key: TileKey, location: int) -> bool:
+        return location in self._entry(key).states
+
+    def host_valid(self, key: TileKey) -> bool:
+        return self.is_valid(key, HOST)
+
+    def valid_devices(self, key: TileKey) -> list[int]:
+        """Device ids (host excluded) holding a valid replica, sorted."""
+        return sorted(d for d in self._entry(key).states if d != HOST)
+
+    def modified_location(self, key: TileKey) -> int | None:
+        """Location holding the MODIFIED replica, if any."""
+        for loc, st in self._entry(key).states.items():
+            if st is ReplicaState.MODIFIED:
+                return loc
+        return None
+
+    def replica_count(self, key: TileKey) -> int:
+        return len(self._entry(key).states)
+
+    def generation(self, key: TileKey) -> int:
+        return self._entry(key).generation
+
+    # ------------------------------------------------------------ in-flight
+
+    def in_flight_to(self, key: TileKey, dst: int) -> InFlight | None:
+        return self._entry(key).in_flight.get(dst)
+
+    def flights(self, key: TileKey) -> list[InFlight]:
+        """All live in-flight transfers of the tile (any destination)."""
+        return list(self._entry(key).in_flight.values())
+
+    def earliest_flight(self, key: TileKey) -> InFlight | None:
+        """The in-flight replica that completes first (optimistic heuristic)."""
+        flights = self._entry(key).flights if False else self._entry(key).in_flight
+        if not flights:
+            return None
+        return min(flights.values(), key=lambda f: (f.completes_at, f.dst))
+
+    def begin_transfer(
+        self, key: TileKey, dst: int, completes_at: float, source: int
+    ) -> InFlight:
+        """Record a transfer of ``key`` toward ``dst`` finishing at ``completes_at``.
+
+        The source must currently be valid or itself have an in-flight replica
+        that completes no later than the new transfer begins — the transfer
+        manager guarantees this by chaining start times.
+        """
+        entry = self._entry(key)
+        if dst in entry.states:
+            raise CoherenceError(f"{key}: destination {dst} already holds a replica")
+        if dst in entry.in_flight:
+            raise CoherenceError(f"{key}: a transfer to {dst} is already in flight")
+        flight = InFlight(
+            dst=dst,
+            completes_at=completes_at,
+            source=source,
+            generation=entry.generation,
+        )
+        entry.in_flight[dst] = flight
+        return flight
+
+    def complete_transfer(self, key: TileKey, dst: int) -> bool:
+        """Finish the in-flight transfer to ``dst``.
+
+        Returns True if the replica became valid, False when a concurrent
+        write invalidated the flight (stale generation) — in that case the
+        arriving bytes are dropped, as a real runtime would discard an
+        invalidated copy.
+        """
+        entry = self._entry(key)
+        flight = entry.in_flight.pop(dst, None)
+        if flight is None:
+            raise CoherenceError(f"{key}: no in-flight transfer to {dst}")
+        if flight.generation != entry.generation:
+            return False
+        entry.states[dst] = ReplicaState.SHARED
+        return True
+
+    # --------------------------------------------------------------- writes
+
+    def write(self, key: TileKey, location: int) -> None:
+        """A task wrote the tile at ``location``: unique MODIFIED replica.
+
+        All other replicas (host included) and all in-flight transfers are
+        invalidated; the tile generation advances.
+        """
+        entry = self._entry(key)
+        entry.generation += 1
+        entry.states.clear()
+        entry.in_flight.clear()
+        entry.states[location] = ReplicaState.MODIFIED
+
+    def downgrade(self, key: TileKey, location: int) -> None:
+        """MODIFIED -> SHARED after the dirty replica has been copied elsewhere."""
+        entry = self._entry(key)
+        if entry.states.get(location) is not ReplicaState.MODIFIED:
+            raise CoherenceError(f"{key}: {location} is not MODIFIED")
+        entry.states[location] = ReplicaState.SHARED
+
+    def add_shared(self, key: TileKey, location: int) -> None:
+        """Install a SHARED replica directly (completion of a tracked copy)."""
+        entry = self._entry(key)
+        current = entry.states.get(location)
+        if current is ReplicaState.MODIFIED:
+            raise CoherenceError(f"{key}: {location} already MODIFIED")
+        entry.states[location] = ReplicaState.SHARED
+
+    # -------------------------------------------------------------- eviction
+
+    def evict(self, key: TileKey, device: int) -> None:
+        """Drop the replica at ``device``.
+
+        Only SHARED replicas are evictable directly; a MODIFIED replica must
+        be written back (copied + :meth:`downgrade`) first.  The XKaapi
+        eviction policy prioritizing read-only data first makes this the
+        common case.
+        """
+        entry = self._entry(key)
+        state = entry.states.get(device)
+        if state is None:
+            raise CoherenceError(f"{key}: no replica on {device} to evict")
+        if state is ReplicaState.MODIFIED:
+            raise CoherenceError(f"{key}: cannot evict MODIFIED replica on {device}")
+        del entry.states[device]
+        if not entry.states and not entry.in_flight:
+            raise CoherenceError(f"{key}: eviction would destroy the last replica")
+
+    def discard(self, key: TileKey, device: int) -> None:
+        """Drop the replica at ``device`` regardless of its state.
+
+        Used when a dirty replica is evicted *while its write-back is in
+        flight*: the data lives "in the wire" (an in-flight transfer records
+        it), so the directory may forget the device copy early.  Raises if the
+        discard would orphan the tile (no replica anywhere and nothing in
+        flight).
+        """
+        entry = self._entry(key)
+        if device not in entry.states:
+            raise CoherenceError(f"{key}: no replica on {device} to discard")
+        remaining = {loc for loc in entry.states if loc != device}
+        if not remaining and not entry.in_flight:
+            raise CoherenceError(f"{key}: discard would orphan the tile")
+        del entry.states[device]
+
+    # -------------------------------------------------------------- seeding
+
+    def seed_device(self, key: TileKey, device: int, exclusive: bool = True) -> None:
+        """Place the initial valid replica on ``device`` (data-on-device).
+
+        With ``exclusive`` the host replica is dropped, modelling matrices
+        that live distributed in GPU memory as in §IV-C.
+        """
+        entry = self._entry(key)
+        if exclusive:
+            entry.generation += 1
+            entry.states.clear()
+            entry.in_flight.clear()
+            entry.states[device] = ReplicaState.MODIFIED
+        else:
+            entry.states[device] = ReplicaState.SHARED
+
+    def invalidate_device_replicas(self, key: TileKey) -> None:
+        """Drop all device replicas, keeping (or restoring) host validity."""
+        entry = self._entry(key)
+        entry.generation += 1
+        entry.states = {HOST: ReplicaState.SHARED}
+        entry.in_flight.clear()

@@ -1,0 +1,78 @@
+"""Tile handles.
+
+A :class:`Tile` is the unit of data management: one block of a partitioned
+matrix, identified by :class:`TileKey` ``(matrix_id, i, j)``.  The runtime's
+coherence directory, caches and transfer manager all speak in tiles.  Tiles
+reference a host-side :class:`~repro.memory.view.MemoryView`; their device
+copies always use the compacted dense form (paper §III-A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.memory.view import MemoryView
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.matrix import Matrix
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TileKey:
+    """Identity of a tile: owning matrix and block coordinates."""
+
+    matrix_id: int
+    i: int
+    j: int
+
+    def __repr__(self) -> str:
+        return f"T({self.matrix_id}:{self.i},{self.j})"
+
+
+@dataclasses.dataclass(frozen=True, slots=True, eq=False)
+class Tile:
+    """One block of a partitioned matrix.
+
+    Equality/hash is identity-based (each partition creates its tiles once),
+    while :attr:`key` provides the stable value identity used by directories.
+    """
+
+    key: TileKey
+    view: MemoryView
+    matrix: "Matrix"
+
+    @property
+    def m(self) -> int:
+        return self.view.m
+
+    @property
+    def n(self) -> int:
+        return self.view.n
+
+    @property
+    def wordsize(self) -> int:
+        return self.view.wordsize
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of a device (compact) copy of this tile."""
+        return self.view.payload_bytes
+
+    @property
+    def i(self) -> int:
+        return self.key.i
+
+    @property
+    def j(self) -> int:
+        return self.key.j
+
+    def host_slice(self) -> tuple[slice, slice]:
+        """NumPy (row, col) slices of this tile inside the host matrix array."""
+        ld = self.view.ld
+        row = self.view.offset % ld
+        col = self.view.offset // ld
+        return (slice(row, row + self.m), slice(col, col + self.n))
+
+    def __repr__(self) -> str:
+        return f"Tile({self.key!r}, {self.m}x{self.n})"

@@ -1,0 +1,57 @@
+"""Data access modes.
+
+Tasks declare how they touch each tile; the dependency builder
+(:mod:`repro.runtime.dataflow`) derives the DAG from these declarations, the
+dependent-task model of XKaapi (paper §I, §III).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.memory.tile import Tile
+
+
+class AccessMode(enum.Flag):
+    """How a task accesses a tile."""
+
+    READ = enum.auto()
+    WRITE = enum.auto()
+    READWRITE = READ | WRITE
+
+    @property
+    def reads(self) -> bool:
+        return bool(self & AccessMode.READ)
+
+    @property
+    def writes(self) -> bool:
+        return bool(self & AccessMode.WRITE)
+
+
+# Short aliases used by the tiled algorithms, mirroring task-runtime idiom.
+R = AccessMode.READ
+W = AccessMode.WRITE
+RW = AccessMode.READWRITE
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Access:
+    """One (tile, mode) declaration of a task."""
+
+    tile: Tile
+    mode: AccessMode
+
+    @property
+    def reads(self) -> bool:
+        return self.mode.reads
+
+    @property
+    def writes(self) -> bool:
+        return self.mode.writes
+
+    def __repr__(self) -> str:
+        tag = {AccessMode.READ: "R", AccessMode.WRITE: "W", AccessMode.READWRITE: "RW"}[
+            self.mode
+        ]
+        return f"{tag}:{self.tile.key!r}"

@@ -1,0 +1,260 @@
+"""The asynchronous user-facing runtime — the simulated XKBLAS/XKaapi surface.
+
+:class:`Runtime` wires a platform to the simulator, coherence directory,
+caches, fabric, transfer manager, scheduler and executor, and exposes the
+XKBLAS programming model (§III, §IV-F):
+
+* ``submit(task)`` — asynchronous task submission; dependencies between BLAS
+  calls are derived from tile accesses, so sequences of calls compose without
+  synchronization barriers;
+* ``memory_coherent_async(matrix)`` — the *lazy* coherence operation: the user
+  says which matrix must become valid on the host, the runtime schedules D2H
+  write-backs as soon as the producing tasks finish;
+* ``distribute_2d_block_cyclic_async(matrix, nb, distribution)`` — the
+  data-on-device primitive of §IV-C
+  (``xkblas_distribute_2Dblock_cyclic_async``);
+* ``sync()`` — wait for everything (drains the virtual-time event heap) and
+  return the makespan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+from repro import config
+from repro.errors import SchedulingError
+from repro.memory.cache import (
+    DeviceCache,
+    EvictionPolicy,
+    POLICIES,
+    ReadOnlyFirstPolicy,
+)
+from repro.memory.coherence import CoherenceDirectory
+from repro.memory.layout import BlockCyclicDistribution, TilePartition
+from repro.memory.matrix import Matrix
+from repro.runtime.access import Access, AccessMode
+from repro.runtime.datastore import DataStore
+from repro.runtime.executor import Executor
+from repro.runtime.fabric import Fabric
+from repro.runtime.policies import SourcePolicy
+from repro.runtime.scheduler import (
+    DmdaScheduler,
+    LocalityWorkStealing,
+    OwnerComputesScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.runtime.task import Task
+from repro.runtime.transfer import TransferManager
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.topology.platform import Platform
+
+
+@dataclasses.dataclass
+class RuntimeOptions:
+    """Tunable knobs of one runtime instance (one library configuration)."""
+
+    #: transfer source-selection policy — the paper's ablation axis.
+    source_policy: SourcePolicy = SourcePolicy.TOPOLOGY_OPTIMISTIC
+    #: scheduler name: "xkaapi-locality-ws", "starpu-dmdas", "owner-computes",
+    #: "round-robin" — or a factory via ``scheduler_factory``.
+    scheduler: str = "xkaapi-locality-ws"
+    scheduler_factory: Callable[[Platform], Scheduler] | None = None
+    #: eviction policy name (see :data:`repro.memory.cache.POLICIES`).
+    eviction: str = ReadOnlyFirstPolicy.name
+    #: per-task host-side creation overhead, seconds.
+    task_overhead: float = config.XKAAPI_TASK_OVERHEAD
+    #: per-pop scheduling overhead, seconds.
+    pop_overhead: float = config.SCHEDULE_POP_OVERHEAD
+    #: concurrent kernel streams per device.
+    kernel_streams: int = config.DEFAULT_KERNEL_STREAMS
+    #: max tasks in flight per device (lookahead/prefetch depth).
+    pipeline_window: int | None = None
+    #: False serializes copies and kernels per stream (no overlap).
+    overlap: bool = True
+    #: False drops clean input replicas right after each task (batched-
+    #: workspace model, e.g. SLATE's block outer product: panels are staging
+    #: buffers, not a cache, so every step re-fetches over PCIe).
+    retain_inputs: bool = True
+    #: fraction of device memory usable as software cache.
+    cache_fraction: float = 0.92
+    #: record an nvprof-like trace (disable for the largest sweeps).
+    trace: bool = True
+    #: host page-locking (cudaHostRegister) bandwidth in bytes/s, charged once
+    #: per matrix at its first host transfer.  ``None`` (default) ignores the
+    #: cost, matching the paper's methodology (§IV-A: "the time to page lock
+    #: the memory was ignored in all experiments"); set a figure (~5 GB/s is
+    #: typical) to quantify what that exclusion hides.
+    pinning_bandwidth: float | None = None
+    #: distribution used by owner-computes when tasks carry no hint.
+    distribution: BlockCyclicDistribution | None = None
+
+
+class Runtime:
+    """One simulated multi-GPU runtime instance over a platform."""
+
+    def __init__(self, platform: Platform, options: RuntimeOptions | None = None) -> None:
+        self.platform = platform
+        self.options = options or RuntimeOptions()
+        opts = self.options
+        self.sim = Simulator()
+        self.trace = TraceRecorder(enabled=opts.trace)
+        self.directory = CoherenceDirectory()
+        self.datastore = DataStore()
+        self.fabric = Fabric(self.sim, platform)
+        self.caches = {
+            dev: DeviceCache(
+                dev, int(platform.gpus[dev].memory_bytes * opts.cache_fraction)
+            )
+            for dev in platform.device_ids()
+        }
+        try:
+            eviction: EvictionPolicy = POLICIES[opts.eviction]()
+        except KeyError:
+            raise SchedulingError(
+                f"unknown eviction policy {opts.eviction!r}; "
+                f"choose from {sorted(POLICIES)}"
+            ) from None
+        self.transfer = TransferManager(
+            sim=self.sim,
+            platform=platform,
+            fabric=self.fabric,
+            directory=self.directory,
+            datastore=self.datastore,
+            caches=self.caches,
+            eviction_policy=eviction,
+            trace=self.trace,
+            policy=opts.source_policy,
+            pinning_bandwidth=opts.pinning_bandwidth,
+        )
+        self.scheduler = self._make_scheduler()
+        self.executor = Executor(
+            sim=self.sim,
+            platform=platform,
+            scheduler=self.scheduler,
+            transfer=self.transfer,
+            trace=self.trace,
+            task_overhead=opts.task_overhead,
+            pop_overhead=opts.pop_overhead,
+            kernel_streams=opts.kernel_streams,
+            pipeline_window=opts.pipeline_window,
+            overlap=opts.overlap,
+            retain_inputs=opts.retain_inputs,
+        )
+        self._partitions: dict[int, TilePartition] = {}
+
+    def _make_scheduler(self) -> Scheduler:
+        opts = self.options
+        if opts.scheduler_factory is not None:
+            return opts.scheduler_factory(self.platform)
+        n = self.platform.num_gpus
+        if opts.scheduler == LocalityWorkStealing.name:
+            return LocalityWorkStealing(n)
+        if opts.scheduler == DmdaScheduler.name:
+            return DmdaScheduler(n, self.platform)
+        if opts.scheduler == OwnerComputesScheduler.name:
+            return OwnerComputesScheduler(n, distribution=opts.distribution)
+        if opts.scheduler == RoundRobinScheduler.name:
+            return RoundRobinScheduler(n)
+        raise SchedulingError(f"unknown scheduler {self.options.scheduler!r}")
+
+    # ---------------------------------------------------------------- tiling
+
+    def partition(self, matrix: Matrix, nb: int) -> TilePartition:
+        """Tile a matrix (cached per matrix; one tiling per runtime)."""
+        part = self._partitions.get(matrix.id)
+        if part is None or part.nb != nb:
+            part = TilePartition(matrix, nb)
+            self._partitions[matrix.id] = part
+            for tile in part:
+                self.datastore.register(tile)
+        return part
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, task: Task) -> Task:
+        """Submit one asynchronous task."""
+        return self.executor.submit(task)
+
+    def submit_all(self, tasks: Sequence[Task]) -> None:
+        for task in tasks:
+            self.executor.submit(task)
+
+    # ---------------------------------------------------------- lazy flushes
+
+    def memory_coherent_async(self, matrix: Matrix, nb: int | None = None) -> None:
+        """Schedule host write-backs of a matrix's tiles (lazy coherence).
+
+        Each tile gets a reads-only flush task depending on its last writer,
+        so D2H transfers start "as soon as tile results are computed" (§IV-F)
+        and overlap the remaining computation.
+        """
+        part = self._partitions.get(matrix.id)
+        if part is None:
+            part = self.partition(matrix, nb or config.DEFAULT_TILE_SIZE)
+        for tile in part:
+            task = Task(
+                name="flush",
+                accesses=[Access(tile, AccessMode.READ)],
+                flops=0.0,
+                dim=tile.m,
+            )
+            self.executor.submit(task, is_flush=True)
+
+    # -------------------------------------------------------- data-on-device
+
+    def distribute_2d_block_cyclic_async(
+        self,
+        matrix: Matrix,
+        nb: int,
+        distribution: BlockCyclicDistribution,
+        upload: bool = True,
+    ) -> TilePartition:
+        """Place a matrix's tiles on devices in 2D block-cyclic fashion.
+
+        With ``upload=True`` the placement is performed by H2D transfers at
+        time zero (charged to the run only if the caller does not reset
+        timing); with ``upload=False`` the tiles are *seeded* directly in
+        device memory, modelling matrices that already live on the GPUs as in
+        the paper's data-on-device scenario (time to distribute excluded).
+        """
+        part = self.partition(matrix, nb)
+        for tile in part:
+            dev = distribution.owner(tile.i, tile.j)
+            if upload:
+                self.transfer.ensure_resident(tile, dev)
+            else:
+                self.directory.seed_device(tile.key, dev, exclusive=True)
+                self.caches[dev].insert(tile.key, tile.nbytes, now=self.sim.now)
+                self.caches[dev].mark_dirty(tile.key, True)
+                # Numeric seeding: materialize the device array from host data.
+                if matrix.numeric:
+                    self.datastore.allocate_device_tile(tile, dev)
+                    self.datastore.device_array(dev, tile.key)[...] = (
+                        self.datastore.host_view(tile)
+                    )
+        return part
+
+    # ------------------------------------------------------------------ sync
+
+    def sync(self, max_events: int | None = None) -> float:
+        """Wait for all submitted work; returns the virtual makespan (s)."""
+        return self.executor.run_to_completion(max_events=max_events)
+
+    # ------------------------------------------------------------ statistics
+
+    def stats(self) -> dict[str, object]:
+        """Aggregate run statistics (transfers, cache hits, steals...)."""
+        out: dict[str, object] = {
+            "makespan": self.sim.now,
+            "tasks": self.executor.completed_tasks,
+            "transfers": self.transfer.stats(),
+            "host_bytes": self.fabric.host_bytes_total(),
+            "p2p_bytes": self.fabric.p2p_bytes_total(),
+            "caches": {dev: c.stats() for dev, c in self.caches.items()},
+        }
+        if isinstance(self.scheduler, LocalityWorkStealing):
+            out["steals"] = self.scheduler.steals
+        return out

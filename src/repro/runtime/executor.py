@@ -1,0 +1,307 @@
+"""Event-driven task execution.
+
+The :class:`Executor` drives the whole machine inside virtual time:
+
+* tasks are *submitted* sequentially by the host thread, paying the runtime's
+  per-task creation overhead (this is why small matrices expose runtime
+  weight, §I);
+* a task becomes *schedulable* once its dependencies completed and its
+  submission instant passed; it then enters the scheduler;
+* each device worker keeps up to ``pipeline_window`` tasks in flight: when a
+  task is launched, its input transfers are reserved on the fabric immediately
+  (the DMA queues), and the kernel is enqueued on the least-busy kernel stream
+  with ``earliest = max(input arrival times)`` — giving the
+  transfer/computation overlap of XKaapi's stream-per-operation-type model
+  (§II-B);
+* at kernel completion the numeric kernel (if any) executes over the device
+  arrays, written tiles are registered with the coherence directory, and
+  newly-ready successors wake the workers.
+
+Host-flush tasks (reads-only tasks created by ``memory_coherent_async``) skip
+the device scheduler entirely: when schedulable they trigger a D2H write-back,
+implementing XKBLAS's lazy coherence (§IV-F).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SchedulingError
+from repro.runtime.dataflow import TaskGraph
+from repro.runtime.scheduler.base import Scheduler, SchedulerContext
+from repro.runtime.task import Task
+from repro.runtime.transfer import TransferManager
+from repro.sim.engine import Simulator
+from repro.sim.stream import Stream
+from repro.sim.trace import TraceCategory, TraceRecorder
+from repro.topology.platform import Platform
+
+
+@dataclasses.dataclass
+class _Worker:
+    device: int
+    streams: list[Stream]
+    window: int
+    inflight: int = 0
+
+
+class Executor:
+    """Binds graph + scheduler + transfer manager to the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: Platform,
+        scheduler: Scheduler,
+        transfer: TransferManager,
+        trace: TraceRecorder,
+        task_overhead: float,
+        pop_overhead: float,
+        kernel_streams: int,
+        pipeline_window: int | None = None,
+        overlap: bool = True,
+        retain_inputs: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.platform = platform
+        self.scheduler = scheduler
+        self.transfer = transfer
+        self.trace = trace
+        self.graph = TaskGraph()
+        self.task_overhead = task_overhead
+        self.pop_overhead = pop_overhead
+        self.overlap = overlap
+        self.retain_inputs = retain_inputs
+        window = pipeline_window if pipeline_window is not None else 2 * kernel_streams
+        # One *compute engine* per device: concurrent kernel streams on a real
+        # GPU share the SMs, so throughput never exceeds one kernel's rate.
+        # Multiple logical streams show up as the lookahead window (transfers
+        # of queued tasks overlap the running kernel), not as extra flop rate.
+        self.workers = [
+            _Worker(
+                device=dev,
+                streams=[Stream(sim, name=f"gpu{dev}-compute")],
+                window=window,
+            )
+            for dev in platform.device_ids()
+        ]
+        self.ctx = SchedulerContext(
+            platform=platform,
+            directory=transfer.directory,
+            transfer=transfer,
+            device_load=lambda dev: max(
+                0.0, self.workers[dev].streams[0].busy_until - self.sim.now
+            ),
+        )
+        self._submit_clock = 0.0
+        self._wake_origin = 0
+        self._submitted: set[int] = set()
+        self._completed = 0
+        self._flush_tasks: set[int] = set()
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, task: Task, is_flush: bool = False) -> Task:
+        """Add ``task`` to the graph and schedule its submission instant."""
+        self.graph.add(task)
+        if is_flush:
+            self._flush_tasks.add(task.uid)
+        self._submit_clock = max(self._submit_clock, self.sim.now) + self.task_overhead
+
+        def _submitted(task=task) -> None:
+            self._submitted.add(task.uid)
+            if task.state == "ready":
+                self._enqueue(task)
+
+        self.sim.schedule(self._submit_clock, _submitted)
+        return task
+
+    def _enqueue(self, task: Task) -> None:
+        """Task is schedulable: hand to the scheduler (or run a host flush)."""
+        if task.uid in self._flush_tasks:
+            self._run_flush(task)
+            return
+        self.scheduler.push(task, self.ctx)
+        self._wake_all()
+
+    # ----------------------------------------------------------- host flush
+
+    def _run_flush(self, task: Task) -> None:
+        end = self.sim.now
+        for access in task.accesses:
+            end = max(end, self.transfer.ensure_host_valid(access.tile, self.sim.now))
+        task.device = None
+        task.start_time = self.sim.now
+        task.state = "running"
+
+        def _done(task=task, end=end) -> None:
+            task.end_time = end
+            self._finish(task)
+
+        self.sim.schedule(end, _done)
+
+    # -------------------------------------------------------------- workers
+
+    def _wake_all(self) -> None:
+        # Fair drain: one launch per worker per round, so an early-woken
+        # worker cannot swallow the whole ready pool into its lookahead
+        # window before its peers get a turn.  The scan origin rotates across
+        # calls — with a fixed origin, tasks released one at a time would
+        # always land on the lowest-numbered eligible worker and starve the
+        # tail of the worker array.
+        self._wake_origin = (self._wake_origin + 1) % len(self.workers)
+        order = self.workers[self._wake_origin:] + self.workers[: self._wake_origin]
+        progress = True
+        while progress:
+            progress = False
+            for worker in order:
+                if worker.inflight >= worker.window:
+                    continue
+                task = self.scheduler.pop(
+                    worker.device, self.ctx, idle=self._compute_idle(worker)
+                )
+                if task is None:
+                    continue
+                self._launch(task, worker)
+                progress = True
+
+    def _compute_idle(self, worker: _Worker) -> bool:
+        """A worker may steal while it is starving (little work in flight).
+
+        Tasks in flight that are still waiting on transfers do not make the
+        GPU busy — XKaapi worker threads keep stealing while DMAs are pending
+        — but a worker with a few tasks enqueued ahead stops raiding, which
+        bounds hoarding while preserving transfer/compute pipelining.
+        """
+        if worker.streams[0].busy_until <= self.sim.now:
+            return True
+        return worker.inflight < max(2, worker.window // 3)
+
+    def _wake(self, worker: _Worker) -> None:
+        while worker.inflight < worker.window:
+            task = self.scheduler.pop(
+                worker.device, self.ctx, idle=self._compute_idle(worker)
+            )
+            if task is None:
+                return
+            self._launch(task, worker)
+
+    def _launch(self, task: Task, worker: _Worker) -> None:
+        dev = worker.device
+        task.device = dev
+        task.state = "running"
+        worker.inflight += 1
+        protect = tuple(a.tile.key for a in task.accesses)
+        inputs_ready = self.sim.now + self.pop_overhead
+        transfer_cost = 0.0
+        pinned = []
+        for access in task.accesses:
+            if access.reads:
+                before = self.sim.now
+                ready = self.transfer.ensure_resident(
+                    access.tile, dev, earliest=self.sim.now, protect=protect
+                )
+                transfer_cost += max(0.0, ready - before)
+                inputs_ready = max(inputs_ready, ready)
+                cache = self.transfer.caches[dev]
+                if access.tile.key in cache:
+                    cache.pin(access.tile.key)
+                    pinned.append(access.tile.key)
+            else:  # WRITE-only output
+                ready = self.transfer.allocate_output(access.tile, dev, self.sim.now)
+                inputs_ready = max(inputs_ready, ready)
+
+        spec = self.platform.gpus[dev]
+        duration = spec.kernel_time(
+            task.flops, task.dim, wordsize=task.output_tile.wordsize,
+            regularity=task.regularity,
+        )
+        stream = min(worker.streams, key=lambda s: s.busy_until)
+        if self.overlap:
+            start, end = stream.reserve(duration, earliest=inputs_ready)
+        else:
+            # Copies and kernel share one in-order lane (cuBLAS-XT-style):
+            # the stream is also occupied for the transfer durations.
+            start, end = stream.reserve(duration + transfer_cost, earliest=inputs_ready)
+            start = end - duration
+        task.start_time = start
+        task.end_time = end
+        self.trace.record(TraceCategory.KERNEL, dev, start, end, task.name)
+
+        def _complete(task=task, worker=worker, pinned=tuple(pinned)) -> None:
+            self._execute_numeric(task)
+            for access in task.accesses:
+                if access.writes:
+                    self.transfer.register_write(access.tile, worker.device, self.sim.now)
+            cache = self.transfer.caches[worker.device]
+            for key in pinned:
+                cache.unpin(key)
+            if not self.retain_inputs:
+                self._drop_clean_inputs(task, worker.device)
+            worker.inflight -= 1
+            self._finish(task)
+
+        self.sim.schedule(end, _complete)
+
+    def _drop_clean_inputs(self, task: Task, device: int) -> None:
+        """Batched-workspace model: free read-only staging tiles after use."""
+        from repro.errors import CoherenceError
+        from repro.memory.coherence import ReplicaState
+
+        directory = self.transfer.directory
+        cache = self.transfer.caches[device]
+        for access in task.accesses:
+            if access.writes:
+                continue
+            key = access.tile.key
+            if directory.state(key, device) is not ReplicaState.SHARED:
+                continue
+            if key not in cache or cache._resident[key].pins:  # noqa: SLF001
+                continue
+            try:
+                directory.evict(key, device)
+            except CoherenceError:
+                continue  # last replica somewhere transient; keep it
+            cache.remove(key)
+            self.transfer.datastore.drop_device_tile(key, device)
+
+    def _execute_numeric(self, task: Task) -> None:
+        if task.kernel is None:
+            return
+        if not all(a.tile.matrix.numeric for a in task.accesses):
+            return  # perf mode
+        dev = task.device
+        assert dev is not None
+        arrays = self.transfer.datastore.arrays_for(
+            dev, [a.tile for a in task.accesses]
+        )
+        task.run_numeric(arrays)
+
+    def _finish(self, task: Task) -> None:
+        self._completed += 1
+        newly_ready = self.graph.complete(task)
+        for succ in newly_ready:
+            if succ.uid in self._submitted:
+                self._enqueue(succ)
+        self.scheduler.on_complete(task, self.ctx)
+        self._wake_all()
+
+    # ------------------------------------------------------------------ run
+
+    def run_to_completion(self, max_events: int | None = None) -> float:
+        """Drain the event heap; returns the makespan.
+
+        Raises :class:`SchedulingError` if tasks remain unexecuted (a
+        scheduling bug or an impossible mapping).
+        """
+        self.sim.run(max_events=max_events)
+        if not self.graph.all_done():
+            stuck = [t for t in self.graph.tasks if t.state != "done"]
+            raise SchedulingError(
+                f"{len(stuck)} tasks never completed, e.g. {stuck[0]!r}"
+            )
+        return self.sim.now
+
+    @property
+    def completed_tasks(self) -> int:
+        return self._completed

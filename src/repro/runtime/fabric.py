@@ -1,0 +1,216 @@
+"""Communication fabric: channels instantiated from a platform.
+
+Maps the :class:`~repro.topology.platform.Platform` description onto
+:class:`~repro.sim.channel.Channel` objects:
+
+* one H2D and one D2H channel **per PCIe switch group** — the two GPUs behind
+  one DGX-1 switch contend on the same host pipe, in each direction;
+* one dedicated channel per directed NVLink pair;
+* PCIe *peer* transfers ride the host fabric: they occupy the source's D2H
+  switch channel and the destination's H2D switch channel simultaneously, at
+  the (lower) measured peer bandwidth — so bulk P2P over PCIe also slows host
+  traffic, which is exactly why the paper's heuristics try to keep traffic on
+  NVLink.
+* one local copy channel per device (the Fig. 2 diagonal).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.topology.link import HOST, LinkKind
+from repro.topology.platform import Platform
+
+
+class Fabric:
+    """All communication channels of one simulated platform instance."""
+
+    #: Aggregate NVLink bandwidth of one V100 (6 bricks x ~25 GB/s, derated).
+    NVLINK_AGGREGATE_BW = 132e9
+
+    def __init__(self, sim: Simulator, platform: Platform) -> None:
+        self.sim = sim
+        self.platform = platform
+        self._h2d: dict[int, Channel] = {}
+        self._d2h: dict[int, Channel] = {}
+        for gi, group in enumerate(platform.pcie_switch_groups):
+            h2d = Channel(
+                sim,
+                platform.host_bandwidth,
+                platform.host_latency,
+                name=f"switch{gi}-h2d",
+            )
+            d2h = Channel(
+                sim,
+                platform.host_bandwidth,
+                platform.host_latency,
+                name=f"switch{gi}-d2h",
+            )
+            for dev in group:
+                self._h2d[dev] = h2d
+                self._d2h[dev] = d2h
+        self._p2p: dict[tuple[int, int], Channel] = {}
+        n = platform.num_gpus
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                link = platform.link(src, dst)
+                if link.kind.is_nvlink:
+                    self._p2p[(src, dst)] = Channel(
+                        sim,
+                        link.bandwidth,
+                        link.latency,
+                        name=f"nvlink-{src}->{dst}",
+                    )
+        self._local = {
+            dev: Channel(
+                sim,
+                platform.link(dev, dev).bandwidth,
+                0.0,
+                name=f"local-{dev}",
+            )
+            for dev in range(n)
+        }
+        # Per-device NVLink injection/ejection engines: a V100 has 6 NVLink
+        # bricks (~150 GB/s aggregate) shared by all its peer links, so a GPU
+        # serving many concurrent pulls saturates — the mechanism behind the
+        # paper's §IV-B observation that "some GPUs require more time to send
+        # or receive data than the others".
+        self._nvlink_egress = {
+            dev: Channel(sim, self.NVLINK_AGGREGATE_BW, 0.0, name=f"nvl-out-{dev}")
+            for dev in range(n)
+        }
+        self._nvlink_ingress = {
+            dev: Channel(sim, self.NVLINK_AGGREGATE_BW, 0.0, name=f"nvl-in-{dev}")
+            for dev in range(n)
+        }
+
+    # ------------------------------------------------------------- reserving
+
+    def reserve_h2d(self, dst: int, nbytes: int, earliest: float) -> tuple[float, float]:
+        """Host -> device transfer over the destination's switch channel."""
+        return self._h2d[dst].reserve(nbytes, earliest)
+
+    def reserve_d2h(self, src: int, nbytes: int, earliest: float) -> tuple[float, float]:
+        """Device -> host transfer over the source's switch channel."""
+        return self._d2h[src].reserve(nbytes, earliest)
+
+    def reserve_p2p(
+        self, src: int, dst: int, nbytes: int, earliest: float
+    ) -> tuple[float, float]:
+        """Device -> device transfer.
+
+        NVLink pairs use their dedicated channel.  PCIe peer routes reserve
+        both host-fabric channels involved (source D2H and destination H2D)
+        for the same interval at the measured peer bandwidth.
+        """
+        if src == dst:
+            raise TopologyError(f"p2p transfer with src == dst == {src}")
+        direct = self._p2p.get((src, dst))
+        if direct is not None:
+            # The transfer streams through the source's egress engine, the
+            # pair link, and the destination's ingress engine; the slowest
+            # stage (usually the pair link) sets the duration, the shared
+            # engines charge their own occupancy so fan-in/fan-out hotspots
+            # serialize.
+            e_start, _ = self._nvlink_egress[src].reserve(nbytes, earliest)
+            i_start, _ = self._nvlink_ingress[dst].reserve(nbytes, max(earliest, e_start))
+            return direct.reserve(nbytes, max(e_start, i_start))
+        link = self.platform.link(src, dst)
+        out_chan = self._d2h[src]
+        in_chan = self._h2d[dst]
+        start = max(earliest, self.sim.now, out_chan.busy_until, in_chan.busy_until)
+        duration = link.latency + nbytes / link.bandwidth
+        end = start + duration
+        # Occupy both pipes for the whole interval.
+        for chan in (out_chan, in_chan) if out_chan is not in_chan else (out_chan,):
+            chan._busy_until = end  # noqa: SLF001 - fabric owns its channels
+            chan.bytes_moved += nbytes
+            chan.transfer_count += 1
+        return start, end
+
+    def reserve(
+        self, src: int, dst: int, nbytes: int, earliest: float
+    ) -> tuple[float, float]:
+        """Dispatch on endpoint kinds (HOST = -1)."""
+        if src == HOST and dst == HOST:
+            raise TopologyError("host-to-host transfers are not modelled")
+        if src == HOST:
+            return self.reserve_h2d(dst, nbytes, earliest)
+        if dst == HOST:
+            return self.reserve_d2h(src, nbytes, earliest)
+        return self.reserve_p2p(src, dst, nbytes, earliest)
+
+    def reserve_local(self, dev: int, nbytes: int, earliest: float) -> tuple[float, float]:
+        return self._local[dev].reserve(nbytes, earliest)
+
+    # ------------------------------------------------------------ estimating
+
+    def estimate(self, src: int, dst: int, nbytes: int, earliest: float) -> float:
+        """Estimated completion time of a transfer, without reserving.
+
+        Accounts for the current FIFO backlog of the channels involved; used
+        by source-selection policies to compare candidate routes.
+        """
+        if src == HOST:
+            chan = self._h2d[dst]
+            start = max(earliest, self.sim.now, chan.busy_until)
+            return start + chan.transfer_time(nbytes)
+        if dst == HOST:
+            chan = self._d2h[src]
+            start = max(earliest, self.sim.now, chan.busy_until)
+            return start + chan.transfer_time(nbytes)
+        direct = self._p2p.get((src, dst))
+        if direct is not None:
+            start = max(
+                earliest,
+                self.sim.now,
+                direct.busy_until,
+                self._nvlink_egress[src].busy_until,
+                self._nvlink_ingress[dst].busy_until,
+            )
+            return start + direct.transfer_time(nbytes)
+        link = self.platform.link(src, dst)
+        start = max(
+            earliest,
+            self.sim.now,
+            self._d2h[src].busy_until,
+            self._h2d[dst].busy_until,
+        )
+        return start + link.latency + nbytes / link.bandwidth
+
+    # ------------------------------------------------------------ inspection
+
+    def link_kind(self, src: int, dst: int) -> LinkKind:
+        if src == HOST or dst == HOST:
+            return self.platform.host_link_kind
+        return self.platform.link(src, dst).kind
+
+    def host_channel_stats(self) -> dict[str, dict[str, float]]:
+        """Per-switch traffic summary (bytes and transfer counts)."""
+        out: dict[str, dict[str, float]] = {}
+        seen: set[int] = set()
+        for chan in list(self._h2d.values()) + list(self._d2h.values()):
+            if id(chan) in seen:
+                continue
+            seen.add(id(chan))
+            out[chan.name] = {
+                "bytes": chan.bytes_moved,
+                "transfers": chan.transfer_count,
+            }
+        return out
+
+    def p2p_bytes_total(self) -> int:
+        return sum(c.bytes_moved for c in self._p2p.values())
+
+    def host_bytes_total(self) -> int:
+        seen: set[int] = set()
+        total = 0
+        for chan in list(self._h2d.values()) + list(self._d2h.values()):
+            if id(chan) in seen:
+                continue
+            seen.add(id(chan))
+            total += chan.bytes_moved
+        return total

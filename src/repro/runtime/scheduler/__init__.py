@@ -1,0 +1,28 @@
+"""Task-to-device scheduling policies.
+
+* :class:`~repro.runtime.scheduler.locality_ws.LocalityWorkStealing` — the
+  XKaapi scheduler the paper builds on (§III-A): owner-computes placement with
+  a locality heuristic plus work stealing; responsible for both XKBLAS's
+  reactivity and the SYR2K imbalance the paper analyses (§IV-E).
+* :class:`~repro.runtime.scheduler.dmdas.DmdaScheduler` — StarPU's DMDAS
+  (deque model data aware, sorted), used by Chameleon (§IV-A).
+* :class:`~repro.runtime.scheduler.owner_computes.OwnerComputesScheduler` —
+  strict owner-computes from a tile distribution (data-on-device runs,
+  cuBLAS-MG's static 2D block-cyclic).
+* :class:`~repro.runtime.scheduler.round_robin.RoundRobinScheduler` — static
+  cyclic assignment of output blocks (cuBLAS-XT's behaviour).
+"""
+
+from repro.runtime.scheduler.base import Scheduler
+from repro.runtime.scheduler.dmdas import DmdaScheduler
+from repro.runtime.scheduler.locality_ws import LocalityWorkStealing
+from repro.runtime.scheduler.owner_computes import OwnerComputesScheduler
+from repro.runtime.scheduler.round_robin import RoundRobinScheduler
+
+__all__ = [
+    "DmdaScheduler",
+    "LocalityWorkStealing",
+    "OwnerComputesScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+]

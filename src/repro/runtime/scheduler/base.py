@@ -1,0 +1,96 @@
+"""Scheduler interface.
+
+A scheduler receives tasks when they become *schedulable* (all dependencies
+done and the submission overhead paid) and serves device workers that ask for
+work.  It is consulted at virtual-time events only — all state lives in plain
+Python structures, keeping runs deterministic.
+
+Schedulers may use a :class:`SchedulerContext` to ask locality questions
+(where do a task's input tiles live? how big are they?) without depending on
+the full executor.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing
+
+from repro.memory.coherence import CoherenceDirectory
+from repro.runtime.task import Task
+from repro.topology.platform import Platform
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.transfer import TransferManager
+
+
+@dataclasses.dataclass
+class SchedulerContext:
+    """Read-only view of runtime state offered to scheduling policies."""
+
+    platform: Platform
+    directory: CoherenceDirectory
+    transfer: "TransferManager"
+    #: compute backlog (seconds of queued kernels) per device; wired by the
+    #: executor so load-aware policies can see starvation.
+    device_load: "typing.Callable[[int], float]" = lambda dev: 0.0
+
+    def kernel_estimate(self, task: Task, device: int) -> float:
+        spec = self.platform.gpus[device]
+        return spec.kernel_time(task.flops, task.dim, regularity=task.regularity)
+
+    def locality_bytes(self, task: Task, device: int) -> int:
+        """Bytes of ``task``'s inputs already valid (or in flight) on ``device``."""
+        total = 0
+        for access in task.accesses:
+            if not access.reads:
+                continue
+            key = access.tile.key
+            if self.directory.is_valid(key, device):
+                total += access.tile.nbytes
+            elif self.directory.in_flight_to(key, device) is not None:
+                total += access.tile.nbytes
+        return total
+
+    def missing_bytes(self, task: Task, device: int) -> int:
+        """Bytes that would have to be transferred to run ``task`` on ``device``."""
+        return task.input_bytes - self.locality_bytes(task, device)
+
+    def best_locality_device(self, task: Task) -> int | None:
+        """Device holding the most input bytes, or ``None`` if nothing is placed."""
+        best_dev, best_bytes = None, 0
+        for dev in self.platform.device_ids():
+            b = self.locality_bytes(task, dev)
+            if b > best_bytes:
+                best_dev, best_bytes = dev, b
+        return best_dev
+
+
+class Scheduler(abc.ABC):
+    """Maps schedulable tasks onto devices on demand."""
+
+    name = "abstract"
+
+    def __init__(self, num_devices: int) -> None:
+        self.num_devices = num_devices
+        self.scheduled = 0
+
+    @abc.abstractmethod
+    def push(self, task: Task, ctx: SchedulerContext) -> None:
+        """Accept a task that became schedulable."""
+
+    @abc.abstractmethod
+    def pop(self, device: int, ctx: SchedulerContext, idle: bool = True) -> Task | None:
+        """Serve one task for ``device``, or ``None`` when nothing suits it.
+
+        ``idle`` is True when the device has no task in flight; work-stealing
+        schedulers only steal for idle devices (a busy worker enqueues ahead
+        from its own deque but does not raid its neighbours).
+        """
+
+    @abc.abstractmethod
+    def pending(self) -> int:
+        """Number of tasks queued inside the scheduler."""
+
+    def on_complete(self, task: Task, ctx: SchedulerContext) -> None:
+        """Completion hook (optional; e.g. performance-model updates)."""

@@ -1,0 +1,42 @@
+"""Static round-robin scheduling.
+
+Models cuBLAS-XT's dispatch: output blocks of the routine are dealt to GPUs
+cyclically in submission order, with no data-locality consideration — every
+input panel is streamed from the host for each block, which is why cuBLAS-XT
+sits at the bottom of the paper's Fig. 3/5 curves on a machine whose host
+links are the bottleneck.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.runtime.scheduler.base import Scheduler, SchedulerContext
+from repro.runtime.task import Task
+
+
+class RoundRobinScheduler(Scheduler):
+    name = "round-robin"
+
+    def __init__(self, num_devices: int) -> None:
+        super().__init__(num_devices)
+        self._queues: list[deque[Task]] = [deque() for _ in range(num_devices)]
+        self._next = 0
+
+    def push(self, task: Task, ctx: SchedulerContext) -> None:
+        if task.owner_hint is not None:
+            dev = task.owner_hint % self.num_devices
+        else:
+            dev = self._next
+            self._next = (self._next + 1) % self.num_devices
+        self._queues[dev].append(task)
+
+    def pop(self, device: int, ctx: SchedulerContext, idle: bool = True) -> Task | None:
+        queue = self._queues[device]
+        if not queue:
+            return None
+        self.scheduled += 1
+        return queue.popleft()
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues)

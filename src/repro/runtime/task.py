@@ -1,0 +1,127 @@
+"""Tasks.
+
+A :class:`Task` couples a set of tile accesses with a compute model (flop
+count + characteristic dimension, used by perf mode) and an optional numeric
+kernel (a callable over NumPy arrays, used by numeric mode).  Dependencies are
+not stored here — :mod:`repro.runtime.dataflow` derives them from the access
+declarations in submission order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import TaskGraphError
+from repro.memory.tile import Tile
+from repro.runtime.access import Access, AccessMode
+
+_task_ids = itertools.count()
+
+#: Signature of a numeric kernel: receives the device arrays of the task's
+#: accesses *in declaration order* and mutates the written ones in place.
+NumericKernel = Callable[..., None]
+
+
+@dataclasses.dataclass(eq=False)
+class Task:
+    """One schedulable kernel invocation.
+
+    Parameters
+    ----------
+    name:
+        Kernel name ("dgemm", "dtrsm"...), used for traces and debugging.
+    accesses:
+        Tile accesses in kernel-argument order.
+    flops:
+        Floating-point operations performed (drives perf-mode duration).
+    dim:
+        Characteristic dimension for the GPU efficiency curve.
+    kernel:
+        Numeric implementation (optional; required only in numeric mode).
+    regularity:
+        Efficiency scale of the kernel class (GEMM 1.0, TRSM lower).
+    priority:
+        Larger runs earlier under priority-aware schedulers; tiled algorithms
+        set it to the remaining critical-path estimate.
+    owner_hint:
+        Device preferred by owner-computes/static schedulers, or ``None``.
+    """
+
+    name: str
+    accesses: Sequence[Access]
+    flops: float
+    dim: int
+    kernel: NumericKernel | None = None
+    regularity: float = 1.0
+    priority: int = 0
+    owner_hint: int | None = None
+
+    # --- fields managed by the runtime ---
+    uid: int = dataclasses.field(default_factory=lambda: next(_task_ids))
+    unfinished_predecessors: int = 0
+    successors: list["Task"] = dataclasses.field(default_factory=list)
+    device: int | None = None  # assigned at execution
+    start_time: float = float("nan")
+    end_time: float = float("nan")
+    state: str = "created"  # created -> ready -> running -> done
+
+    def __post_init__(self) -> None:
+        if self.flops < 0:
+            raise TaskGraphError(f"task {self.name}: negative flops")
+        if not self.accesses:
+            raise TaskGraphError(f"task {self.name}: a task must access data")
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def reads(self) -> list[Tile]:
+        return [a.tile for a in self.accesses if a.reads]
+
+    @property
+    def writes(self) -> list[Tile]:
+        return [a.tile for a in self.accesses if a.writes]
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes a device must hold valid before the kernel can start."""
+        return sum(a.tile.nbytes for a in self.accesses if a.reads)
+
+    @property
+    def output_tile(self) -> Tile:
+        """The first written tile — the owner-computes anchor.
+
+        Reads-only tasks (host flushes) anchor on their first access.
+        """
+        for a in self.accesses:
+            if a.writes:
+                return a.tile
+        return self.accesses[0].tile
+
+    def run_numeric(self, arrays: Sequence[np.ndarray]) -> None:
+        """Execute the numeric kernel over the device arrays."""
+        if self.kernel is None:
+            raise TaskGraphError(f"task {self.name} has no numeric kernel")
+        self.kernel(*arrays)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:
+        return f"Task#{self.uid}({self.name}, {list(self.accesses)!r})"
+
+
+def make_access_list(
+    reads: Sequence[Tile] = (),
+    writes: Sequence[Tile] = (),
+    readwrites: Sequence[Tile] = (),
+) -> list[Access]:
+    """Convenience builder for access lists (reads, then writes, then RW)."""
+    out = [Access(t, AccessMode.READ) for t in reads]
+    out += [Access(t, AccessMode.WRITE) for t in writes]
+    out += [Access(t, AccessMode.READWRITE) for t in readwrites]
+    return out

@@ -1,0 +1,388 @@
+"""The transfer manager — where the paper's two heuristics live.
+
+``TransferManager.ensure_resident(tile, dst)`` makes a tile valid on a device
+and returns the virtual time at which it is usable.  Source selection follows
+the active :class:`~repro.runtime.policies.SourcePolicy`:
+
+1. already valid on ``dst`` → ready immediately;
+2. already **in flight** to ``dst`` → ready when that transfer completes (this
+   alone deduplicates host→device copies, §III-C: "the heuristic avoids
+   duplicate tile transfers from main memory");
+3. some device holds a valid replica → with the **topology-aware** heuristic
+   the source is the valid device with the best link-performance rank toward
+   ``dst`` (§III-B); without it, an arbitrary (deterministically pseudo-random)
+   valid device;
+4. no device replica valid, but one is in flight somewhere → with the
+   **optimistic** heuristic, wait for the flight to land and forward
+   device-to-device (§III-C); otherwise fall back to the host;
+5. otherwise copy from the host (after restoring host validity if the only
+   valid replica is dirty on a device).
+
+The manager also owns device-memory admission: before a transfer lands, space
+is ensured in the destination's :class:`~repro.memory.cache.DeviceCache`,
+evicting victims chosen by the cache's policy and writing dirty ones back.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CoherenceError
+from repro.memory.cache import DeviceCache, EvictionPolicy
+from repro.memory.coherence import CoherenceDirectory
+from repro.memory.tile import Tile, TileKey
+from repro.runtime.datastore import DataStore
+from repro.runtime.fabric import Fabric
+from repro.runtime.policies import SourcePolicy
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceCategory, TraceRecorder
+from repro.topology.link import HOST
+from repro.topology.platform import Platform
+
+
+def _mix(key: TileKey, dst: int) -> int:
+    """Deterministic integer hash of (tile, destination) — stable across
+    processes (pure integer arithmetic, no salted hashing)."""
+    h = (key.matrix_id * 1000003 + key.i * 10007 + key.j * 101 + dst) & 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 0x45D9F3B) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h
+
+
+class TransferManager:
+    """Replica movement engine shared by all simulated libraries."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: Platform,
+        fabric: Fabric,
+        directory: CoherenceDirectory,
+        datastore: DataStore,
+        caches: dict[int, DeviceCache],
+        eviction_policy: EvictionPolicy,
+        trace: TraceRecorder,
+        policy: SourcePolicy = SourcePolicy.TOPOLOGY_OPTIMISTIC,
+        pinning_bandwidth: float | None = None,
+    ) -> None:
+        self.sim = sim
+        self.platform = platform
+        self.fabric = fabric
+        self.directory = directory
+        self.datastore = datastore
+        self.caches = caches
+        self.eviction_policy = eviction_policy
+        self.trace = trace
+        self.policy = policy
+        #: host page-locking model (None = ignored, the paper's methodology).
+        self.pinning_bandwidth = pinning_bandwidth
+        self._pinned_matrices: dict[int, float] = {}  # matrix id -> ready time
+        self._pin_clock = 0.0  # page-locking is serial host work
+        # statistics
+        self.h2d_transfers = 0
+        self.d2h_transfers = 0
+        self.p2p_transfers = 0
+        self.optimistic_forwards = 0
+
+    # ------------------------------------------------------------ residency
+
+    def ensure_resident(
+        self,
+        tile: Tile,
+        dst: int,
+        earliest: float | None = None,
+        protect: tuple[TileKey, ...] = (),
+    ) -> float:
+        """Make ``tile`` valid on device ``dst``; return its ready time."""
+        now = self.sim.now if earliest is None else max(self.sim.now, earliest)
+        key = tile.key
+        cache = self.caches[dst]
+        self.datastore.register(tile)
+
+        if self.directory.is_valid(key, dst):
+            cache.record_access(key)
+            cache.touch(key, now)
+            return now
+
+        flight = self.directory.in_flight_to(key, dst)
+        if flight is not None:
+            cache.record_access(key)
+            return max(now, flight.completes_at)
+
+        cache.record_access(key)
+        if key in cache and not self.directory.is_valid(key, dst):
+            # Stale bytes left by a same-instant invalidation while pinned.
+            cache.remove(key)
+            self.datastore.drop_device_tile(key, dst)
+        source, source_ready = self._select_source(key, dst, now)
+        alloc_ready = self._make_room(dst, tile.nbytes, now, protect=protect)
+        if source == HOST:
+            source_ready = max(source_ready, self._ensure_pinned(tile, now))
+        start_lb = max(now, source_ready, alloc_ready)
+        start, end = self.fabric.reserve(source, dst, tile.nbytes, start_lb)
+        self.directory.begin_transfer(key, dst, completes_at=end, source=source)
+        cache.insert(key, tile.nbytes, now=end)
+        cache.pin(key)  # protect until landed; unpinned in the completion event
+        # Pin the source replica too: a DMA must not read a freed buffer.
+        src_pinned = source != HOST and key in self.caches[source]
+        if src_pinned:
+            self.caches[source].pin(key)
+        if source == HOST:
+            self.h2d_transfers += 1
+            self.trace.record(
+                TraceCategory.MEMCPY_HTOD, dst, start, end, f"h2d {key}", tile.nbytes
+            )
+        else:
+            self.p2p_transfers += 1
+            self.trace.record(
+                TraceCategory.MEMCPY_PTOP, dst, start, end, f"p2p {source}->{dst} {key}", tile.nbytes
+            )
+
+        def _on_complete(source=source, dst=dst, tile=tile, src_pinned=src_pinned) -> None:
+            landed = self.directory.complete_transfer(tile.key, dst)
+            cache.unpin(tile.key)
+            if src_pinned and tile.key in self.caches[source]:
+                self.caches[source].unpin(tile.key)
+            if landed:
+                self.datastore.copy_tile(tile, source, dst)
+                self._refresh_shared_flags(tile.key)
+            else:
+                # Invalidated mid-flight by a writer: drop the stale bytes.
+                cache.remove(tile.key)
+                self.datastore.drop_device_tile(tile.key, dst)
+
+        self.sim.schedule(end, _on_complete)
+        return end
+
+    def _select_source(self, key: TileKey, dst: int, now: float) -> tuple[int, float]:
+        """Pick ``(source_location, source_ready_time)`` per the active policy."""
+        candidates = [d for d in self.directory.valid_devices(key) if d != dst]
+        if candidates and self.policy.uses_device_sources:
+            if self.policy.topology_aware:
+                best = self.platform.peers_by_rank(dst, candidates)[0]
+            else:
+                # "No ranking" = whichever replica the runtime happens to find
+                # first; modelled as a deterministic pseudo-random pick so no
+                # artificial hot source emerges (the paper's no-topo variant
+                # is link-class-blind, not systematically biased).
+                best = candidates[_mix(key, dst) % len(candidates)]
+            self.caches[best].touch(key, now)
+            return best, now
+        if self.policy.optimistic:
+            # Optimistic device-to-device forwarding (§III-C): prefer waiting
+            # for an in-flight replica and forwarding it over NVLink to
+            # issuing another host copy over the congested PCIe fabric — but
+            # only when the estimated arrival actually beats the direct host
+            # route (a forward behind a long DMA backlog would be pessimism,
+            # not optimism).
+            nbytes = self.datastore.tile(key).nbytes
+            host_eta = self.fabric.estimate(HOST, dst, nbytes, now)
+            best_flight = None
+            best_eta = host_eta
+            for flight in self.directory.flights(key):
+                if flight.dst == dst or flight.dst == HOST:
+                    continue
+                eta = self.fabric.estimate(
+                    flight.dst, dst, nbytes, max(now, flight.completes_at)
+                )
+                if eta < best_eta:
+                    best_flight, best_eta = flight, eta
+            if best_flight is not None:
+                self.optimistic_forwards += 1
+                return best_flight.dst, best_flight.completes_at
+        # Fall back to the host.
+        if self.directory.host_valid(key):
+            return HOST, now
+        host_flight = self.directory.in_flight_to(key, HOST)
+        if host_flight is not None:
+            return HOST, host_flight.completes_at
+        return HOST, self.ensure_host_valid(self.datastore.tile(key), now)
+
+    def _ensure_pinned(self, tile: Tile, now: float) -> float:
+        """First host DMA touching a matrix pays its page-locking time.
+
+        One serial host pass over the whole matrix (cudaHostRegister), charged
+        once; later transfers of the same matrix are free — the amortization
+        the paper assumes (§IV-A).
+        """
+        if self.pinning_bandwidth is None:
+            return now
+        matrix = tile.matrix
+        done = self._pinned_matrices.get(matrix.id)
+        if done is not None:
+            return max(now, done)
+        start = max(now, self._pin_clock)
+        done = start + matrix.nbytes / self.pinning_bandwidth
+        self._pin_clock = done
+        self._pinned_matrices[matrix.id] = done
+        self.trace.record(
+            TraceCategory.HOST, -1, start, done, f"pin {matrix.name}", matrix.nbytes
+        )
+        return done
+
+    def preview_source(self, key: TileKey, dst: int) -> tuple[int, float]:
+        """Where would a transfer to ``dst`` come from, and at what bandwidth?
+
+        A read-only estimate used by cost-model schedulers (DMDAS); mirrors
+        :meth:`_select_source` without touching any state.
+        """
+        if self.directory.is_valid(key, dst):
+            return dst, float("inf")
+        candidates = [d for d in self.directory.valid_devices(key) if d != dst]
+        if candidates and self.policy.uses_device_sources:
+            if self.policy.topology_aware:
+                src = self.platform.peers_by_rank(dst, candidates)[0]
+            else:
+                src = candidates[_mix(key, dst) % len(candidates)]
+            return src, self.platform.link(src, dst).bandwidth
+        return HOST, self.platform.host_bandwidth
+
+    # ----------------------------------------------------------- host flush
+
+    def ensure_host_valid(self, tile: Tile, earliest: float | None = None) -> float:
+        """Make the host copy of ``tile`` valid (D2H write-back); return time.
+
+        Used both by the HOST_ONLY fallback above and by the user-facing
+        ``memory_coherent_async`` (lazy coherence, §IV-F).
+        """
+        now = self.sim.now if earliest is None else max(self.sim.now, earliest)
+        key = tile.key
+        if self.directory.host_valid(key):
+            return now
+        flight = self.directory.in_flight_to(key, HOST)
+        if flight is not None:
+            return max(now, flight.completes_at)
+        source = self.directory.modified_location(key)
+        if source is None:
+            devices = self.directory.valid_devices(key)
+            if not devices:
+                raise CoherenceError(f"{key}: no valid replica anywhere")
+            source = devices[0]
+        if source == HOST:  # pragma: no cover - host_valid already checked
+            return now
+        start, end = self.fabric.reserve_d2h(source, tile.nbytes, now)
+        self.directory.begin_transfer(key, HOST, completes_at=end, source=source)
+        src_pinned = key in self.caches[source]
+        if src_pinned:
+            self.caches[source].touch(key, now)
+            self.caches[source].pin(key)
+        self.d2h_transfers += 1
+        self.trace.record(
+            TraceCategory.MEMCPY_DTOH, source, start, end, f"d2h {key}", tile.nbytes
+        )
+
+        def _on_complete(source=source, tile=tile, src_pinned=src_pinned) -> None:
+            landed = self.directory.complete_transfer(tile.key, HOST)
+            if src_pinned and tile.key in self.caches[source]:
+                self.caches[source].unpin(tile.key)
+            if landed:
+                self.datastore.copy_tile(tile, source, HOST)
+                if self.directory.state(tile.key, source) is not None:
+                    try:
+                        self.directory.downgrade(tile.key, source)
+                    except CoherenceError:
+                        pass  # already SHARED
+                    if tile.key in self.caches[source]:
+                        self.caches[source].mark_dirty(tile.key, False)
+
+        self.sim.schedule(end, _on_complete)
+        return end
+
+    # -------------------------------------------------------------- writes
+
+    def register_write(self, tile: Tile, device: int, when: float) -> None:
+        """A kernel on ``device`` wrote ``tile`` at time ``when``.
+
+        The directory invalidates every other replica; caches and the data
+        store drop theirs.
+        """
+        key = tile.key
+        for other in self.directory.valid_devices(key):
+            if other == device:
+                continue
+            if other in self.caches and key in self.caches[other]:
+                ccache = self.caches[other]
+                if ccache._resident[key].pins == 0:  # noqa: SLF001
+                    ccache.remove(key)
+                    self.datastore.drop_device_tile(key, other)
+                else:
+                    # Pinned elsewhere (running reader finished at same instant
+                    # event ordering): keep bytes, directory invalidates below.
+                    pass
+        self.directory.write(key, device)
+        cache = self.caches[device]
+        if key not in cache:
+            # WRITE-only access: the output tile was allocated, not transferred.
+            # Space was planned by allocate_output but may have been consumed
+            # by concurrent stagings; evict again if needed (write-back delay
+            # of victims is already covered by their own D2H reservations).
+            self._make_room(device, tile.nbytes, when)
+            cache.insert(key, tile.nbytes, now=when)
+        cache.mark_dirty(key, True)
+        cache.touch(key, when)
+        self._refresh_shared_flags(key)
+
+    def allocate_output(self, tile: Tile, device: int, earliest: float) -> float:
+        """Ensure space for a WRITE-only output tile; returns readiness time."""
+        key = tile.key
+        cache = self.caches[device]
+        self.datastore.register(tile)
+        if key in cache or self.directory.in_flight_to(key, device) is not None:
+            return earliest
+        ready = self._make_room(device, tile.nbytes, earliest)
+        self.datastore.allocate_device_tile(tile, device)
+        # Residency is accounted at write registration (task completion).
+        return ready
+
+    # ------------------------------------------------------------- eviction
+
+    def _make_room(
+        self, device: int, nbytes: int, now: float, protect: tuple[TileKey, ...] = ()
+    ) -> float:
+        """Evict until ``nbytes`` fit on ``device``; return readiness time."""
+        cache = self.caches[device]
+        victims = self.eviction_policy.choose_victims(cache, nbytes, protect=protect)
+        ready = now
+        for vkey in victims:
+            vtile = self.datastore.tile(vkey)
+            if cache.is_dirty(vkey):
+                # Dirty victim: start the write-back, then forget the replica
+                # eagerly — the in-flight record to HOST keeps the tile alive
+                # in the directory, so later requests chain on the write-back
+                # instead of seeing a phantom device copy.  Bytes are freed
+                # immediately; the DMA's source buffer survives in the data
+                # store until the flight lands.
+                cache.remove(vkey)
+                end = self.ensure_host_valid(vtile, now)
+                ready = max(ready, end)
+                self.directory.discard(vkey, device)
+                self._refresh_shared_flags(vkey)
+
+                def _drop(vkey=vkey, device=device) -> None:
+                    self.datastore.drop_device_tile(vkey, device)
+
+                self.sim.schedule(end, _drop)
+            else:
+                cache.remove(vkey)
+                self.directory.evict(vkey, device)
+                self.datastore.drop_device_tile(vkey, device)
+                self._refresh_shared_flags(vkey)
+            cache.evictions += 1
+        return ready
+
+    # ----------------------------------------------------------- bookkeeping
+
+    def _refresh_shared_flags(self, key: TileKey) -> None:
+        """Maintain the BLASX-policy hint: is the tile replicated elsewhere?"""
+        holders = self.directory.valid_devices(key)
+        multi = len(holders) > 1
+        for dev in holders:
+            if dev in self.caches and key in self.caches[dev]:
+                self.caches[dev].mark_shared_elsewhere(key, multi)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "h2d": self.h2d_transfers,
+            "d2h": self.d2h_transfers,
+            "p2p": self.p2p_transfers,
+            "optimistic_forwards": self.optimistic_forwards,
+        }

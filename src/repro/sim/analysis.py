@@ -1,0 +1,123 @@
+"""Post-mortem analysis of a finished run.
+
+Answers the questions the paper's §IV-E trace study asks with nvprof
+screenshots, as computed metrics:
+
+* :func:`critical_path` — the longest dependency chain of kernel time through
+  the executed task graph.  ``makespan ≈ critical path`` means the run was
+  dependency-limited (no scheduler could do better); ``makespan ≫ critical
+  path`` means resources or data movement were the limit.
+* :func:`overlap_efficiency` — how much transfer time was hidden behind
+  compute, per device (the §II-B overlap objective).
+* :func:`load_imbalance` — (max-min)/mean of per-device busy time, the Fig. 7
+  metric.
+* :func:`analyze` — one dictionary with all of it, used by examples/tests.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.dataflow import TaskGraph
+from repro.runtime.task import Task
+from repro.sim.trace import TraceCategory, TraceRecorder
+
+
+def critical_path(graph: TaskGraph) -> tuple[float, list[Task]]:
+    """Longest chain of task durations; returns ``(seconds, chain)``.
+
+    Submission order is a topological order, so one forward sweep suffices.
+    Durations are the *observed* kernel times of the run.
+    """
+    # Forward sweep: dist[t] = duration(t) + max over predecessors.  The
+    # graph stores successors, so propagate forward instead.
+    dist: dict[int, float] = {}
+    pred: dict[int, Task | None] = {}
+    for task in graph.tasks:
+        d = max(0.0, task.duration) if task.state == "done" else 0.0
+        base = dist.get(task.uid, 0.0)
+        total = base + d
+        dist[task.uid] = total
+        pred.setdefault(task.uid, None)
+        for succ in task.successors:
+            if total > dist.get(succ.uid, 0.0):
+                dist[succ.uid] = total
+                pred[succ.uid] = task
+    if not dist:
+        return 0.0, []
+    end_uid = max(dist, key=dist.get)
+    by_uid = {t.uid: t for t in graph.tasks}
+    chain: list[Task] = []
+    cursor: Task | None = by_uid[end_uid]
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = pred.get(cursor.uid)
+    chain.reverse()
+    return dist[end_uid], chain
+
+
+def overlap_efficiency(trace: TraceRecorder, device: int) -> float:
+    """Fraction of the device's transfer time hidden behind its kernels.
+
+    1.0 = every transfer second overlapped compute; 0.0 = fully exposed.
+    """
+    kernels = sorted(
+        (iv.start, iv.end)
+        for iv in trace.filter(device=device)
+        if iv.category is TraceCategory.KERNEL
+    )
+    transfers = [
+        iv for iv in trace.filter(device=device) if iv.category.is_transfer
+    ]
+    total = sum(iv.duration for iv in transfers)
+    if total == 0:
+        return 1.0
+    hidden = 0.0
+    for iv in transfers:
+        covered, cursor = 0.0, iv.start
+        for ks, ke in kernels:
+            if ke <= cursor:
+                continue
+            if ks >= iv.end:
+                break
+            lo, hi = max(cursor, ks), min(iv.end, ke)
+            if hi > lo:
+                covered += hi - lo
+                cursor = hi
+        hidden += covered
+    return hidden / total
+
+
+def load_imbalance(trace: TraceRecorder, devices) -> float:
+    """(max - min) / mean of per-device busy time (Fig. 7's spread)."""
+    busy = [trace.device_busy_time(d) for d in devices]
+    mean = sum(busy) / len(busy) if busy else 0.0
+    if mean == 0:
+        return 0.0
+    return (max(busy) - min(busy)) / mean
+
+
+def analyze(runtime) -> dict:
+    """Full post-mortem of a finished :class:`~repro.runtime.api.Runtime`."""
+    graph = runtime.executor.graph
+    trace = runtime.trace
+    devices = list(runtime.platform.device_ids())
+    cp, chain = critical_path(graph)
+    makespan = trace.makespan()
+    kernels = [iv for iv in trace if iv.category is TraceCategory.KERNEL]
+    kernel_span = (
+        max(iv.end for iv in kernels) - min(iv.start for iv in kernels)
+        if kernels
+        else 0.0
+    )
+    return {
+        "makespan_s": makespan,
+        "critical_path_s": cp,
+        "critical_path_tasks": len(chain),
+        # Compared against the kernel-activity window, not the makespan: the
+        # leading input staging and trailing flush are not schedulable work.
+        "dependency_limited": cp >= 0.8 * kernel_span if kernel_span else False,
+        "load_imbalance": load_imbalance(trace, devices),
+        "overlap_efficiency": {
+            d: overlap_efficiency(trace, d) for d in devices
+        },
+        "transfer_share": trace.transfer_share(),
+    }

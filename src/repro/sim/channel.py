@@ -1,0 +1,96 @@
+"""Bandwidth channels.
+
+A :class:`Channel` models one direction of a physical interconnect (an NVLink
+pair, one direction of a PCIe x16 host link, a device-local copy engine...).
+Transfers submitted to a channel serialize FIFO — exactly what a DMA engine
+does — so the busy time of the channel is the natural measure of contention.
+
+Shared links (the DGX-1 PCIe switch in front of two GPUs, see DESIGN.md) are
+modelled by handing the *same* channel object to both GPUs: their host
+transfers then queue behind each other, which reproduces the PCIe bottleneck
+the paper's optimistic heuristic sidesteps.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class Channel:
+    """A FIFO bandwidth channel.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator (provides the clock).
+    bandwidth:
+        Sustained bandwidth in bytes/second. Must be positive.
+    latency:
+        Fixed per-transfer setup latency in seconds.
+    name:
+        Human-readable identifier used in traces and error messages.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        latency: float = 0.0,
+        name: str = "channel",
+    ) -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"channel {name!r}: bandwidth must be > 0")
+        if latency < 0:
+            raise SimulationError(f"channel {name!r}: latency must be >= 0")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.name = name
+        self._busy_until = 0.0
+        self.bytes_moved = 0
+        self.transfer_count = 0
+
+    # ------------------------------------------------------------------ model
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Duration of a transfer of ``nbytes`` once it owns the channel."""
+        if nbytes < 0:
+            raise SimulationError(f"channel {self.name!r}: negative size {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def reserve(self, nbytes: int, earliest: float | None = None) -> tuple[float, float]:
+        """Reserve the channel for ``nbytes`` and return ``(start, end)``.
+
+        ``earliest`` is the virtual time at which the transfer *could* start
+        (e.g. when the source data becomes valid); the actual start also waits
+        for the channel to drain its FIFO backlog.  The reservation is made
+        immediately — callers then schedule their completion callback at
+        ``end``.
+        """
+        now = self.sim.now if earliest is None else max(self.sim.now, earliest)
+        start = max(now, self._busy_until)
+        end = start + self.transfer_time(nbytes)
+        self._busy_until = end
+        self.bytes_moved += nbytes
+        self.transfer_count += 1
+        return start, end
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def busy_until(self) -> float:
+        """Virtual time at which the FIFO backlog drains."""
+        return self._busy_until
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` spent moving bytes (upper bound)."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, (self.bytes_moved / self.bandwidth) / horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.name!r}, bw={self.bandwidth / 1e9:.1f} GB/s, "
+            f"busy_until={self._busy_until:.6f})"
+        )

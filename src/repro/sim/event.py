@@ -1,0 +1,40 @@
+"""Events for the discrete-event engine.
+
+An :class:`Event` is a callback scheduled at a virtual time.  Events compare by
+``(time, seq)`` so that simultaneous events fire in submission order, which
+keeps every simulation fully deterministic (no reliance on heap tie-breaking of
+unorderable payloads).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Virtual time (seconds) at which the callback fires.
+    seq:
+        Monotonic sequence number assigned by the simulator; ties on ``time``
+        are broken by submission order.
+    callback:
+        Zero-argument callable invoked when the event fires.  Excluded from
+        ordering comparisons.
+    cancelled:
+        Lazily-cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it reaches the top."""
+        self.cancelled = True

@@ -1,0 +1,90 @@
+"""Trace exporters.
+
+Turns a :class:`~repro.sim.trace.TraceRecorder` into artifacts a person can
+open elsewhere:
+
+* :func:`to_chrome_trace` — Chrome/Perfetto trace-event JSON (open in
+  ``chrome://tracing`` or https://ui.perfetto.dev), the closest analogue of
+  the paper's nvprof timelines (Figs. 6/7/9);
+* :func:`to_csv` — a flat CSV of intervals for spreadsheet/pandas analysis;
+* :func:`summary_dict` — machine-readable per-category/per-device summary.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.sim.trace import TraceCategory, TraceRecorder
+
+#: Track name per category in the Chrome trace (one row group per device).
+_TRACK = {
+    TraceCategory.KERNEL: "compute",
+    TraceCategory.MEMCPY_HTOD: "copy-in",
+    TraceCategory.MEMCPY_DTOH: "copy-out",
+    TraceCategory.MEMCPY_PTOP: "peer",
+    TraceCategory.MEMCPY_DTOD: "local",
+    TraceCategory.HOST: "host",
+}
+
+
+def to_chrome_trace(trace: TraceRecorder, time_unit: float = 1e6) -> str:
+    """Serialize a trace as Chrome trace-event JSON (complete 'X' events).
+
+    ``time_unit`` scales virtual seconds to the format's microseconds.
+    """
+    events = []
+    for iv in trace:
+        events.append(
+            {
+                "name": iv.label or iv.category.value,
+                "cat": iv.category.value,
+                "ph": "X",
+                "ts": iv.start * time_unit,
+                "dur": iv.duration * time_unit,
+                "pid": 0,
+                "tid": f"gpu{iv.device}/{_TRACK[iv.category]}"
+                if iv.device >= 0
+                else "host",
+                "args": {"bytes": iv.nbytes} if iv.nbytes else {},
+            }
+        )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=None)
+
+
+def to_csv(trace: TraceRecorder) -> str:
+    """Flat CSV: category, device, start, end, duration, bytes, label."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["category", "device", "start_s", "end_s", "duration_s", "bytes", "label"])
+    for iv in trace:
+        writer.writerow(
+            [iv.category.value, iv.device, f"{iv.start:.9f}", f"{iv.end:.9f}",
+             f"{iv.duration:.9f}", iv.nbytes, iv.label]
+        )
+    return buf.getvalue()
+
+
+def summary_dict(trace: TraceRecorder) -> dict:
+    """Machine-readable Fig. 6/7-style summary of one trace."""
+    return {
+        "makespan_s": trace.makespan(),
+        "cumulative_s": {
+            cat.value: t for cat, t in trace.cumulative_by_category().items()
+        },
+        "normalized": {
+            cat.value: r for cat, r in trace.normalized_by_category().items()
+        },
+        "transfer_share": trace.transfer_share(),
+        "per_device_s": {
+            dev: {cat.value: t for cat, t in cats.items()}
+            for dev, cats in trace.per_device_breakdown().items()
+        },
+    }
+
+
+def write_chrome_trace(trace: TraceRecorder, path: str) -> None:
+    """Convenience file writer for :func:`to_chrome_trace`."""
+    with open(path, "w") as fh:
+        fh.write(to_chrome_trace(trace))

@@ -1,0 +1,52 @@
+"""CUDA-like streams.
+
+A :class:`Stream` is an in-order execution lane: operations submitted to the
+same stream serialize, operations on different streams may overlap in virtual
+time.  Devices in :mod:`repro.runtime.worker` own one or more kernel streams
+(the XKaapi one-stream-per-operation-type strategy from the paper's §II-B) —
+copy "streams" are represented by :class:`~repro.sim.channel.Channel` objects
+since their duration is bandwidth-bound rather than compute-bound.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class Stream:
+    """An in-order lane of timed operations on a simulated device."""
+
+    def __init__(self, sim: Simulator, name: str = "stream") -> None:
+        self.sim = sim
+        self.name = name
+        self._busy_until = 0.0
+        self.ops = 0
+
+    def reserve(self, duration: float, earliest: float | None = None) -> tuple[float, float]:
+        """Append an operation of ``duration`` seconds to the lane.
+
+        Returns the ``(start, end)`` interval.  ``earliest`` lower-bounds the
+        start time (e.g. kernel inputs arriving); the lane's previous backlog
+        also does.
+        """
+        if duration < 0:
+            raise SimulationError(f"stream {self.name!r}: negative duration")
+        now = self.sim.now if earliest is None else max(self.sim.now, earliest)
+        start = max(now, self._busy_until)
+        end = start + duration
+        self._busy_until = end
+        self.ops += 1
+        return start, end
+
+    @property
+    def busy_until(self) -> float:
+        """Virtual time at which the lane's backlog drains."""
+        return self._busy_until
+
+    def available_at(self, earliest: float) -> float:
+        """Earliest time an op could start given the backlog and ``earliest``."""
+        return max(earliest, self._busy_until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stream({self.name!r}, busy_until={self._busy_until:.6f}, ops={self.ops})"

@@ -1,0 +1,26 @@
+"""Platform topology models.
+
+Describes the multi-GPU machine: device specifications, interconnect links
+ranked by performance class (2×NVLink > 1×NVLink > PCIe, paper §III-B), the
+DGX-1 hybrid cube-mesh factory with the paper's Fig. 2 bandwidth matrix, a
+Summit-like node for the §III-C prediction, and a DGX-2-like uniform NVSwitch
+node for the §V portability discussion.
+"""
+
+from repro.topology.device import CpuSpec, GpuSpec
+from repro.topology.dgx1 import make_dgx1
+from repro.topology.link import Link, LinkKind
+from repro.topology.nvswitch import make_nvswitch_node
+from repro.topology.platform import Platform
+from repro.topology.summit import make_summit_node
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "Link",
+    "LinkKind",
+    "Platform",
+    "make_dgx1",
+    "make_nvswitch_node",
+    "make_summit_node",
+]

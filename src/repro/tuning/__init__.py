@@ -1,0 +1,14 @@
+"""Tile-size autotuning.
+
+The paper's methodology picks, per (library, routine, N), the best tile size
+among a fixed candidate set and notes "block size tuning is outside of the
+scope of this paper" (§IV-A).  Because our platform is a deterministic
+simulator, tuning *is* in scope here: :class:`~repro.tuning.tuner.TileTuner`
+searches tile sizes cheaply (golden-section-style refinement over the
+power-of-two ladder) and caches results per (library, routine, size class) —
+the tool a downstream user would reach for before running a real workload.
+"""
+
+from repro.tuning.tuner import TileTuner, TuningResult
+
+__all__ = ["TileTuner", "TuningResult"]

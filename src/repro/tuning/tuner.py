@@ -1,0 +1,125 @@
+"""The tile-size tuner.
+
+Strategy: evaluate the power-of-two ladder between ``min_nb`` and ``max_nb``
+(both clamped to sane fractions of N), then refine around the best rung with
+its two half-step neighbours (3·2ᵏ sizes).  Every evaluation is one simulated
+run — deterministic, so results are cacheable and exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.bench.harness import run_point
+from repro.errors import BenchmarkError
+from repro.topology.platform import Platform
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one tuning search."""
+
+    library: str
+    routine: str
+    n: int
+    best_nb: int
+    best_tflops: float
+    evaluated: dict[int, float]  # nb -> TFlop/s
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.evaluated)
+
+
+class TileTuner:
+    """Searches tile sizes for a (library, routine) on one platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        min_nb: int = 256,
+        max_nb: int = 8192,
+        max_tiles: int = 32,
+    ) -> None:
+        if min_nb <= 0 or max_nb < min_nb:
+            raise BenchmarkError(f"invalid nb range [{min_nb}, {max_nb}]")
+        self.platform = platform
+        self.min_nb = min_nb
+        self.max_nb = max_nb
+        #: tile sizes finer than n/max_tiles per dimension are not explored
+        #: (task-graph size explodes, and they never won in our sweeps).
+        self.max_tiles = max_tiles
+        self._cache: dict[tuple[str, str, int, str], TuningResult] = {}
+
+    # ------------------------------------------------------------ searching
+
+    def _candidates(self, n: int) -> list[int]:
+        lo = max(self.min_nb, 1 << max(0, (n // self.max_tiles)).bit_length() - 1)
+        out = []
+        nb = 1 << int(math.ceil(math.log2(max(self.min_nb, n // self.max_tiles))))
+        while nb <= min(self.max_nb, n // 2):
+            out.append(nb)
+            nb *= 2
+        return out or [max(self.min_nb, n // 2)]
+
+    def tune(
+        self,
+        library: str,
+        routine: str,
+        n: int,
+        scenario: str = "host",
+        refine: bool = True,
+    ) -> TuningResult:
+        """Find the best tile size for one problem size."""
+        key = (library, routine, n, scenario)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        evaluated: dict[int, float] = {}
+
+        def measure(nb: int) -> float:
+            nb = int(nb)
+            if nb in evaluated:
+                return evaluated[nb]
+            if nb >= n or n / nb > self.max_tiles:
+                evaluated[nb] = 0.0
+                return 0.0
+            res = run_point(library, routine, n, nb, self.platform, scenario=scenario)
+            evaluated[nb] = res.tflops
+            return res.tflops
+
+        ladder = self._candidates(n)
+        for nb in ladder:
+            measure(nb)
+        best_nb = max(evaluated, key=evaluated.get)
+        if refine:
+            # Probe the 1.5x midpoints around the winning rung.
+            for cand in (best_nb * 3 // 4, best_nb * 3 // 2):
+                cand = max(self.min_nb, min(cand, self.max_nb))
+                measure(cand)
+            best_nb = max(evaluated, key=evaluated.get)
+        result = TuningResult(
+            library=library,
+            routine=routine,
+            n=n,
+            best_nb=best_nb,
+            best_tflops=evaluated[best_nb],
+            evaluated=dict(evaluated),
+        )
+        self._cache[key] = result
+        return result
+
+    # -------------------------------------------------------------- queries
+
+    def recommend(self, library: str, routine: str, n: int, scenario: str = "host") -> int:
+        """Best tile size (tuning on first use, cached afterwards)."""
+        return self.tune(library, routine, n, scenario=scenario).best_nb
+
+    def table(self, library: str, routine: str, sizes, scenario: str = "host"):
+        """Tuning table across problem sizes: ``[(n, best_nb, tflops)]``."""
+        return [
+            (n, r.best_nb, round(r.best_tflops, 2))
+            for n in sizes
+            for r in [self.tune(library, routine, n, scenario=scenario)]
+        ]

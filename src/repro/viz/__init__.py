@@ -1,0 +1,11 @@
+"""Dependency-free terminal visualization.
+
+The environment has no plotting stack, so the figures are rendered as ASCII:
+line charts for the TFlop/s-vs-N sweeps (Figs. 3-5, 8), bar charts for the
+trace breakdowns (Fig. 6), and the Gantt renderer already used by Fig. 9.
+``python -m repro.bench <fig> --plot`` attaches the chart to the report.
+"""
+
+from repro.viz.ascii import bar_chart, line_chart, sparkline
+
+__all__ = ["bar_chart", "line_chart", "sparkline"]

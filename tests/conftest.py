@@ -1,0 +1,59 @@
+"""Shared fixtures: platforms, runtimes, deterministic RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Runtime, RuntimeOptions
+from repro.topology.dgx1 import make_dgx1
+from repro.topology.device import GpuSpec
+from repro.topology.link import Link, LinkKind
+from repro.topology.platform import Platform
+
+
+@pytest.fixture(scope="session")
+def dgx1():
+    """The full 8-GPU DGX-1 of Table I."""
+    return make_dgx1(8)
+
+
+@pytest.fixture(scope="session")
+def dgx1_small():
+    """A 4-GPU slice of the DGX-1 (cheaper numeric runs)."""
+    return make_dgx1(4)
+
+
+@pytest.fixture()
+def duo():
+    """A tiny 2-GPU platform with one NVLink pair and small memories.
+
+    Small device memory (64 MiB) lets eviction paths trigger with small
+    matrices.
+    """
+    gpu = GpuSpec(name="mini", memory_bytes=64 * 1024 * 1024)
+    links = [
+        Link(0, 1, LinkKind.NVLINK_DOUBLE),
+        Link(1, 0, LinkKind.NVLINK_DOUBLE),
+    ]
+    return Platform(
+        name="duo",
+        gpus=[gpu, gpu],
+        links=links,
+        pcie_switch_groups=[(0, 1)],
+    )
+
+
+@pytest.fixture()
+def runtime(dgx1_small):
+    return Runtime(dgx1_small)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_runtime(platform, **opts) -> Runtime:
+    """Helper for tests needing custom options."""
+    return Runtime(platform, RuntimeOptions(**opts))

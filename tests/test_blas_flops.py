@@ -1,0 +1,49 @@
+"""Tests for flop-count formulas."""
+
+import pytest
+
+from repro.blas import flops as fl
+from repro.errors import BlasValidationError
+
+
+def test_gemm_flops():
+    assert fl.gemm_flops(10, 20, 30) == 2 * 10 * 20 * 30
+
+
+def test_symm_flops_sides():
+    assert fl.symm_flops(True, 10, 20) == 2 * 10 * 10 * 20
+    assert fl.symm_flops(False, 10, 20) == 2 * 10 * 20 * 20
+
+
+def test_syrk_syr2k_flops():
+    assert fl.syrk_flops(10, 5) == 5 * 10 * 11
+    assert fl.syr2k_flops(10, 5) == 2 * 5 * 10 * 11
+    # syr2k is exactly twice syrk
+    assert fl.syr2k_flops(100, 40) == 2 * fl.syrk_flops(100, 40)
+
+
+def test_trmm_trsm_flops():
+    assert fl.trmm_flops(True, 8, 4) == 8 * 8 * 4
+    assert fl.trsm_flops(False, 8, 4) == 8 * 4 * 4
+
+
+def test_routine_flops_dispatch():
+    assert fl.routine_flops("gemm", 4, 5, 6) == fl.gemm_flops(4, 5, 6)
+    assert fl.routine_flops("DGEMM", 4, 5, 6) == fl.gemm_flops(4, 5, 6)
+    assert fl.routine_flops("dsyr2k", 8, 8, 3) == fl.syr2k_flops(8, 3)
+    assert fl.routine_flops("herk", 8, 8, 3) == fl.syrk_flops(8, 3)
+    assert fl.routine_flops("symm", 4, 6, 4) == fl.symm_flops(True, 4, 6)
+    assert fl.routine_flops("symm", 4, 6, 6) == fl.symm_flops(False, 4, 6)
+    assert fl.routine_flops("trsm", 4, 6, 4) == fl.trsm_flops(True, 4, 6)
+
+
+def test_routine_flops_errors():
+    with pytest.raises(BlasValidationError):
+        fl.routine_flops("gemm", 4, 5)  # k required
+    with pytest.raises(BlasValidationError):
+        fl.routine_flops("qrf", 4, 5, 6)
+
+
+def test_kernel_regularity_table():
+    assert fl.KERNEL_REGULARITY["gemm"] == 1.0
+    assert fl.KERNEL_REGULARITY["trsm"] < fl.KERNEL_REGULARITY["trmm"] <= 1.0

@@ -1,0 +1,45 @@
+"""Tests for the CLI's ASCII sweep-chart rendering."""
+
+from repro.bench.__main__ import _sweep_chart
+from repro.bench.harness import ExperimentResult
+
+
+def sweep_result(columns, rows):
+    return ExperimentResult(
+        experiment="Fig. T", title="t", columns=columns, rows=rows
+    )
+
+
+def test_sweep_chart_renders_size_sweeps():
+    result = sweep_result(
+        ["N", "xkblas", "slate"],
+        [[8192, 20.0, 8.0], [16384, 40.0, "-"], [32768, 55.0, 20.0]],
+    )
+    chart = _sweep_chart(result)
+    assert chart is not None
+    assert "Fig. T" in chart
+    assert "o=xkblas" in chart and "x=slate" in chart
+
+
+def test_sweep_chart_skips_non_sweeps():
+    result = sweep_result(["library", "share"], [["xkblas", 0.25]])
+    assert _sweep_chart(result) is None
+    assert _sweep_chart(sweep_result(["N", "a"], [])) is None
+
+
+def test_sweep_chart_chunks_many_series():
+    columns = ["N"] + [f"s{i}" for i in range(10)]
+    rows = [[1024] + [float(i) for i in range(10)],
+            [2048] + [float(i + 1) for i in range(10)]]
+    chart = _sweep_chart(sweep_result(columns, rows))
+    # 10 series split into chunks of <= 8 -> two charts
+    assert chart.count("Fig. T (TFlop/s vs N)") == 2
+
+
+def test_cli_plot_flag(capsys):
+    from repro.bench.__main__ import main
+
+    code = main(["table1", "--plot"])  # table1 is not a sweep: no chart, no crash
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Table I" in out

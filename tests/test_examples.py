@@ -1,0 +1,60 @@
+"""Smoke tests for the runnable examples (small arguments, real execution)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart_small():
+    out = run_example("quickstart.py", "512", "128")
+    assert "simulated GFlop/s" in out or "throughput" in out
+    assert "max |error|" in out
+
+
+def test_cholesky_solver_small():
+    out = run_example("cholesky_solver.py", "256", "64", "64")
+    assert "max |A X - B|" in out
+    assert "overlapped the factorization" in out
+
+
+def test_solver_analysis_small(tmp_path):
+    trace = tmp_path / "trace.json"
+    out = run_example("solver_analysis.py", "384", "64", str(trace))
+    assert "post-mortem" in out
+    assert trace.exists()
+    import json
+
+    assert json.loads(trace.read_text())["traceEvents"]
+
+
+def test_data_on_device_small():
+    out = run_example("data_on_device.py", "4096")
+    assert "tile ownership" in out
+    assert "g0 g1" in out
+
+
+def test_composition_pipeline_small():
+    out = run_example("composition_pipeline.py", "8192", "1024")
+    assert "numeric check" in out
+    assert "TFlop/s" in out
+
+
+def test_drop_in_replacement_small():
+    out = run_example("drop_in_replacement.py", "4096", "512")
+    assert "xkblas" in out
+    assert "vs cuBLAS-XT" in out

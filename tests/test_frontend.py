@@ -1,0 +1,124 @@
+"""Tests for the Fortran-flavoured drop-in frontend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BlasValidationError
+from repro.frontend import BlasFrontend
+
+
+@pytest.fixture()
+def front(dgx1_small):
+    return BlasFrontend(dgx1_small, library="xkblas", nb=48)
+
+
+def farray(m, n, seed, complex_=False):
+    rng = np.random.default_rng(seed)
+    data = rng.random((m, n))
+    if complex_:
+        data = data + 1j * rng.random((m, n))
+    return np.asfortranarray(data)
+
+
+def test_dgemm_all_char_combos(front):
+    for ta in "NT":
+        for tb in "NT":
+            a = farray(40, 30, 1) if ta == "N" else farray(30, 40, 1)
+            b = farray(30, 20, 2) if tb == "N" else farray(20, 30, 2)
+            c = farray(40, 20, 3)
+            c0 = c.copy()
+            front.dgemm(ta, tb, 2.0, a, b, -1.0, c)
+            oa = a if ta == "N" else a.T
+            ob = b if tb == "N" else b.T
+            np.testing.assert_allclose(c, 2.0 * oa @ ob - c0, atol=1e-10)
+
+
+def test_dsymm_and_dsyrk(front):
+    a = farray(30, 30, 4)
+    b = farray(30, 20, 5)
+    c = farray(30, 20, 6)
+    c0 = c.copy()
+    front.dsymm("L", "L", 1.0, a, b, 0.0, c)
+    sym = np.tril(a) + np.tril(a, -1).T
+    np.testing.assert_allclose(c, sym @ b, atol=1e-10)
+
+    g = farray(30, 10, 7)
+    s = np.asfortranarray(np.zeros((30, 30)))
+    front.dsyrk("U", "N", 1.0, g, 0.0, s)
+    np.testing.assert_allclose(np.triu(s), np.triu(g @ g.T), atol=1e-10)
+
+
+def test_dtrsm_then_dtrmm_roundtrip(front):
+    n = 36
+    a = farray(n, n, 8) + n * np.eye(n)
+    b = farray(n, 12, 9)
+    b0 = b.copy()
+    front.dtrsm("L", "L", "N", "N", 1.0, a, b)
+    front.dtrmm("L", "L", "N", "N", 1.0, a, b)
+    np.testing.assert_allclose(b, b0, atol=1e-8)
+
+
+def test_dsyr2k(front):
+    a, b = farray(24, 12, 10), farray(24, 12, 11)
+    c = np.asfortranarray(np.zeros((24, 24)))
+    front.dsyr2k("L", "N", 1.0, a, b, 0.0, c)
+    np.testing.assert_allclose(np.tril(c), np.tril(a @ b.T + b @ a.T), atol=1e-10)
+
+
+def test_complex_hermitian_entry_points(front):
+    a = farray(20, 20, 12, complex_=True)
+    b = farray(20, 10, 13, complex_=True)
+    c = np.asfortranarray(np.zeros((20, 10), dtype=complex))
+    front.zhemm("L", "U", 1.0, a, b, 0.0, c)
+    herm = np.triu(a) + np.triu(a, 1).conj().T
+    # BLAS assumes the Hermitian diagonal has zero imaginary part.
+    np.fill_diagonal(herm, herm.diagonal().real)
+    np.testing.assert_allclose(c, herm @ b, atol=1e-10)
+
+    g = farray(20, 8, 14, complex_=True)
+    s = np.asfortranarray(np.zeros((20, 20), dtype=complex))
+    front.zherk("L", "N", 1.0, g, 0.0, s)
+    np.testing.assert_allclose(np.tril(s), np.tril(g @ g.conj().T), atol=1e-10)
+    s2 = np.asfortranarray(np.zeros((20, 20), dtype=complex))
+    front.zher2k("L", "N", 1.0, g, g, 0.0, s2)
+    # With a == b and real alpha, her2k reduces to 2 * g gᴴ (Hermitian).
+    np.testing.assert_allclose(np.tril(s2), np.tril(2 * (g @ g.conj().T)), atol=1e-10)
+
+
+def test_time_accounting_accumulates(front):
+    a, b, c = farray(40, 40, 15), farray(40, 40, 16), farray(40, 40, 17)
+    t1 = front.dgemm("N", "N", 1.0, a, b, 0.0, c)
+    assert t1 > 0
+    t2 = front.dgemm("N", "N", 1.0, a, b, 0.0, c)
+    assert front.simulated_seconds == pytest.approx(t1 + t2)
+    assert front.calls == 2
+
+
+def test_invalid_characters_rejected(front):
+    a, b, c = farray(8, 8, 18), farray(8, 8, 19), farray(8, 8, 20)
+    with pytest.raises(BlasValidationError, match="trans"):
+        front.dgemm("X", "N", 1.0, a, b, 0.0, c)
+    with pytest.raises(BlasValidationError, match="side"):
+        front.dsymm("Q", "L", 1.0, a, b, 0.0, c)
+    with pytest.raises(BlasValidationError, match="2-D"):
+        front.dgemm("N", "N", 1.0, np.zeros(4), b, 0.0, c)
+
+
+def test_lowercase_characters_accepted(front):
+    a, b, c = farray(16, 16, 21), farray(16, 16, 22), farray(16, 16, 23)
+    c0 = c.copy()
+    front.dgemm("n", "t", 1.0, a, b, 0.0, c)
+    np.testing.assert_allclose(c, a @ b.T, atol=1e-10)
+
+
+def test_frontend_backend_choice(dgx1_small):
+    """The same legacy calls run against any simulated backend."""
+    results = {}
+    for backend in ("xkblas", "cublas-xt"):
+        front = BlasFrontend(dgx1_small, library=backend, nb=48)
+        a, b, c = farray(96, 96, 24), farray(96, 96, 25), farray(96, 96, 26)
+        expect = a @ b
+        front.dgemm("N", "N", 1.0, a, b, 0.0, c)
+        np.testing.assert_allclose(c, expect, atol=1e-10)
+        results[backend] = front.simulated_seconds
+    assert all(v > 0 for v in results.values())

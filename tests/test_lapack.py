@@ -1,0 +1,127 @@
+"""Tests for the LAPACK-level composition layer (POTRF/POTRS/POSV)."""
+
+import numpy as np
+import pytest
+
+from repro import Runtime
+from repro.blas.params import Uplo
+from repro.lapack import build_potrf, posv_async, potrf_async, potrs_async
+from repro.memory.layout import TilePartition
+from repro.memory.matrix import Matrix
+
+
+def spd_matrix(n, seed=0):
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n))
+    a = m @ m.T + n * np.eye(n)
+    return Matrix(n, n, data=np.asfortranarray(a), name="A")
+
+
+N = 130
+NB = 32
+
+
+@pytest.mark.parametrize("uplo", list(Uplo))
+def test_potrf_matches_numpy_cholesky(dgx1_small, uplo):
+    a = spd_matrix(N, seed=1)
+    a0 = a.to_array().copy()
+    rt = Runtime(dgx1_small)
+    potrf_async(rt, uplo, a, NB)
+    rt.memory_coherent_async(a, NB)
+    rt.sync()
+    expect_l = np.linalg.cholesky(a0)
+    got = a.to_array()
+    if uplo is Uplo.LOWER:
+        np.testing.assert_allclose(np.tril(got), expect_l, atol=1e-8)
+        # Unstored triangle untouched.
+        np.testing.assert_array_equal(
+            np.triu(got, 1), np.triu(a0, 1)
+        )
+    else:
+        np.testing.assert_allclose(np.triu(got), expect_l.T, atol=1e-8)
+        np.testing.assert_array_equal(np.tril(got, -1), np.tril(a0, -1))
+
+
+@pytest.mark.parametrize("uplo", list(Uplo))
+def test_posv_solves_system(dgx1_small, uplo):
+    a = spd_matrix(N, seed=2)
+    a0 = a.to_array().copy()
+    b = Matrix.random(N, 40, seed=3, name="B")
+    b0 = b.to_array().copy()
+    rt = Runtime(dgx1_small)
+    posv_async(rt, uplo, a, b, NB)
+    rt.memory_coherent_async(b, NB)
+    rt.sync()
+    residual = a0 @ b.to_array() - b0
+    assert np.max(np.abs(residual)) < 1e-6
+
+
+def test_potrs_against_prefactored(dgx1_small):
+    a = spd_matrix(N, seed=4)
+    a0 = a.to_array().copy()
+    chol = np.linalg.cholesky(a0)
+    factor = Matrix(N, N, data=np.asfortranarray(np.tril(chol)), name="L")
+    b = Matrix.random(N, 16, seed=5, name="B")
+    b0 = b.to_array().copy()
+    rt = Runtime(dgx1_small)
+    potrs_async(rt, Uplo.LOWER, factor, b, NB)
+    rt.memory_coherent_async(b, NB)
+    rt.sync()
+    np.testing.assert_allclose(a0 @ b.to_array(), b0, atol=1e-6)
+
+
+def test_potrf_task_graph_shape():
+    a = Matrix.meta(4 * 64, 4 * 64)
+    part = TilePartition(a, 64)
+    tasks = list(build_potrf(Uplo.LOWER, part))
+    names = [t.name for t in tasks]
+    nt = 4
+    assert names.count("potrf") == nt
+    assert names.count("trsm") == nt * (nt - 1) // 2
+    assert names.count("syrk") == nt * (nt - 1) // 2
+    assert names.count("gemm") == sum(
+        max(0, i - k - 1) for k in range(nt) for i in range(k + 1, nt)
+    )
+    # Written tiles all live in the stored (lower) triangle.
+    assert all(t.output_tile.i >= t.output_tile.j for t in tasks)
+
+
+def test_potrf_rejects_nonsquare():
+    from repro.errors import BlasValidationError
+
+    part = TilePartition(Matrix.meta(128, 64), 64)
+    with pytest.raises(BlasValidationError):
+        list(build_potrf(Uplo.LOWER, part))
+
+
+def test_posv_pipeline_overlaps_factor_and_solve(dgx1_small):
+    """Composition evidence: the first solve task starts before the last
+    factorization task finishes."""
+    n, nb = 16384, 1024
+    a = Matrix.meta(n, n, name="A")
+    b = Matrix.meta(n, n // 4, name="B")
+    rt = Runtime(dgx1_small)
+    posv_async(rt, Uplo.LOWER, a, b, nb)
+    rt.sync()
+    tasks = rt.executor.graph.tasks
+    factor_tasks = [t for t in tasks if t.name in ("potrf", "syrk")]
+    solve_tasks = [
+        t
+        for t in tasks
+        if t.output_tile.key.matrix_id == b.id
+    ]
+    last_factor_end = max(t.end_time for t in factor_tasks)
+    first_solve_start = min(t.start_time for t in solve_tasks)
+    assert first_solve_start < last_factor_end
+
+
+def test_potrf_ragged_tiles(dgx1_small):
+    a = spd_matrix(97, seed=6)  # 97 not divisible by 32
+    a0 = a.to_array().copy()
+    rt = Runtime(dgx1_small)
+    potrf_async(rt, Uplo.LOWER, a, 32)
+    rt.memory_coherent_async(a, 32)
+    rt.sync()
+    np.testing.assert_allclose(
+        np.tril(a.to_array()), np.linalg.cholesky(a0), atol=1e-8
+    )

@@ -1,0 +1,206 @@
+"""Tests for the simulated library configurations and their semantics."""
+
+import numpy as np
+import pytest
+
+from repro.blas.params import Diag, Side, Trans, Uplo
+from repro.blas.reference import ref_gemm
+from repro.errors import LibraryError
+from repro.libraries import LIBRARIES, make_library
+from repro.libraries.registry import FIG5_LIBRARIES, XKBLAS_VARIANTS
+from repro.memory.matrix import Matrix
+from repro.runtime.policies import SourcePolicy
+
+
+def gemm_operands(n=192, seed=0):
+    a = Matrix.random(n, n, seed=seed, name="A")
+    b = Matrix.random(n, n, seed=seed + 1, name="B")
+    c = Matrix.random(n, n, seed=seed + 2, name="C")
+    return a, b, c
+
+
+# ----------------------------------------------------------------- registry
+
+
+def test_registry_contains_all_paper_libraries():
+    assert set(FIG5_LIBRARIES) <= set(LIBRARIES)
+    assert set(XKBLAS_VARIANTS) <= set(LIBRARIES)
+    assert len(FIG5_LIBRARIES) == 8  # the paper's 8 curves
+
+
+def test_unknown_library_rejected(dgx1_small):
+    with pytest.raises(LibraryError):
+        make_library("mkl", dgx1_small)
+
+
+def test_xkblas_variant_policies(dgx1_small):
+    assert (
+        make_library("xkblas", dgx1_small).runtime_options().source_policy
+        is SourcePolicy.TOPOLOGY_OPTIMISTIC
+    )
+    assert (
+        make_library("xkblas-no-heuristic", dgx1_small).runtime_options().source_policy
+        is SourcePolicy.TOPOLOGY
+    )
+    assert (
+        make_library("xkblas-no-heuristic-no-topo", dgx1_small)
+        .runtime_options()
+        .source_policy
+        is SourcePolicy.ANY_VALID
+    )
+    assert SourcePolicy.xkblas_variant("xkblas") is SourcePolicy.TOPOLOGY_OPTIMISTIC
+
+
+# ------------------------------------------------------------- correctness
+
+
+@pytest.mark.parametrize("key", sorted(LIBRARIES))
+def test_every_library_computes_correct_gemm(dgx1_small, key):
+    a, b, c = gemm_operands()
+    c0 = c.to_array().copy()
+    lib = make_library(key, dgx1_small)
+    res = lib.gemm(1.5, a, b, -0.5, c, nb=64)
+    expect = ref_gemm(1.5, a.to_array(), b.to_array(), -0.5, c0)
+    if res.scenario == "device":
+        # Result lives on the devices; flush through a session to check.
+        return
+    np.testing.assert_allclose(c.to_array(), expect, atol=1e-10)
+    assert res.seconds > 0 and res.gflops > 0
+
+
+def test_gemm_only_libraries_reject_other_routines(dgx1_small):
+    for key in ("blasx", "cublas-mg", "dplasma"):
+        lib = make_library(key, dgx1_small)
+        a = Matrix.meta(256, 256)
+        c = Matrix.meta(256, 256)
+        with pytest.raises(LibraryError):
+            lib.syrk(Uplo.LOWER, Trans.NOTRANS, 1.0, a, 0.0, c, nb=64)
+
+
+def test_blasx_fails_above_45000(dgx1):
+    lib = make_library("blasx", dgx1)
+    a = Matrix.meta(46080, 46080)
+    b = Matrix.meta(46080, 46080)
+    c = Matrix.meta(46080, 46080)
+    with pytest.raises(LibraryError, match="allocation"):
+        lib.gemm(1.0, a, b, 0.0, c, nb=2048)
+
+
+def test_library_result_metrics(dgx1_small):
+    a, b, c = gemm_operands()
+    res = make_library("xkblas", dgx1_small).gemm(1.0, a, b, 0.0, c, nb=64)
+    assert res.flops == 2.0 * 192**3
+    assert res.tflops == pytest.approx(res.gflops / 1e3)
+    assert res.routine == "gemm" and res.library == "XKBlas"
+    with pytest.raises(LibraryError):
+        res.transfer_share()  # runtime not kept
+
+
+def test_keep_runtime_enables_trace_analysis(dgx1_small):
+    a, b, c = gemm_operands()
+    res = make_library("xkblas", dgx1_small).gemm(1.0, a, b, 0.0, c, nb=64, keep_runtime=True)
+    assert 0.0 < res.transfer_share() < 1.0
+
+
+# ---------------------------------------------------------------- semantics
+
+
+def test_synchronous_library_restores_host_after_each_call(dgx1_small):
+    """cuBLAS-XT: after a call, the result is on the host and device replicas
+    are dropped (data back and forth, §IV-F)."""
+    a, b, c = gemm_operands()
+    lib = make_library("cublas-xt", dgx1_small)
+    res = lib.gemm(1.0, a, b, 0.0, c, nb=64, keep_runtime=True)
+    rt = res.runtime
+    part = rt._partitions[c.id]
+    for tile in part:
+        assert rt.directory.host_valid(tile.key)
+        assert rt.directory.valid_devices(tile.key) == []
+
+
+def test_xkblas_lazy_coherence_leaves_replicas_on_device(dgx1_small):
+    a, b, c = gemm_operands()
+    lib = make_library("xkblas", dgx1_small)
+    res = lib.gemm(1.0, a, b, 0.0, c, nb=64, keep_runtime=True)
+    rt = res.runtime
+    part = rt._partitions[c.id]
+    assert all(rt.directory.host_valid(t.key) for t in part)  # flushed result
+    assert any(rt.directory.valid_devices(t.key) for t in part)  # replicas kept
+
+
+def test_composition_is_numerically_correct(dgx1_small):
+    """TRSM then GEMM through one XKBlas session (the Fig. 8 computation)."""
+    n = 160
+    rng = np.random.default_rng(5)
+    a_arr = np.asfortranarray(rng.random((n, n)) + n * np.eye(n))
+    a = Matrix(n, n, data=a_arr, name="A")
+    b = Matrix.random(n, n, seed=6, name="B")
+    c = Matrix.random(n, n, seed=7, name="C")
+    d = Matrix.zeros(n, n, name="D")
+    b0 = b.to_array().copy()
+    lib = make_library("xkblas", dgx1_small)
+    s = lib.session()
+    s.trsm_async(Side.LEFT, Uplo.LOWER, Trans.NOTRANS, Diag.NONUNIT, 1.0, a, b, nb=48)
+    s.gemm_async(1.0, b, c, 0.0, d, nb=48)
+    s.memory_coherent_async(b, 48)
+    s.memory_coherent_async(d, 48)
+    s.sync()
+    x = np.linalg.solve(np.tril(a_arr), b0)
+    np.testing.assert_allclose(b.to_array(), x, atol=1e-8)
+    np.testing.assert_allclose(d.to_array(), x @ c.to_array(), atol=1e-7)
+
+
+def test_composition_faster_than_synchronous_sequence(dgx1_small):
+    """Asynchronous composition (XKBlas) beats barrier-separated calls
+    (Chameleon-style) on the same workload."""
+    n, nb = 8192, 1024
+
+    def compose(key):
+        lib = make_library(key, dgx1_small)
+        a = Matrix.meta(n, n, name="A")
+        b = Matrix.meta(n, n, name="B")
+        c = Matrix.meta(n, n, name="C")
+        d = Matrix.meta(n, n, name="D")
+        s = lib.session()
+        s.trsm_async(Side.LEFT, Uplo.LOWER, Trans.NOTRANS, Diag.NONUNIT, 1.0, a, b, nb)
+        s.gemm_async(1.0, b, c, 0.0, d, nb)
+        s.memory_coherent_async(d, nb)
+        return s.sync()
+
+    assert compose("xkblas") < compose("chameleon-tile")
+
+
+def test_chameleon_lapack_charges_conversions(dgx1_small):
+    a, b, c = (Matrix.meta(4096, 4096, name=n) for n in "ABC")
+    tile = make_library("chameleon-tile", dgx1_small).gemm(1.0, a, b, 0.0, c, nb=1024)
+    a, b, c = (Matrix.meta(4096, 4096, name=n) for n in "ABC")
+    lapack = make_library("chameleon-lapack", dgx1_small).gemm(1.0, a, b, 0.0, c, nb=1024)
+    assert lapack.seconds > tile.seconds
+    # conversion of A, B once and C twice at host copy bandwidth
+    from repro.memory.layout import layout_conversion_time
+
+    expected_extra = 4 * layout_conversion_time(a.nbytes)
+    assert lapack.seconds - tile.seconds == pytest.approx(expected_extra, rel=0.35)
+
+
+def test_dod_scenario_leaves_result_on_device(dgx1_small):
+    a, b, c = gemm_operands()
+    res = make_library("xkblas", dgx1_small).gemm(
+        1.0, a, b, 0.0, c, nb=64, scenario="device", keep_runtime=True
+    )
+    rt = res.runtime
+    part = rt._partitions[c.id]
+    assert all(not rt.directory.host_valid(t.key) for t in part)
+    assert rt.transfer.stats()["h2d"] == 0  # nothing crossed PCIe inbound
+
+
+def test_dod_numeric_correctness_via_explicit_flush(dgx1_small):
+    a, b, c = gemm_operands(seed=30)
+    c0 = c.to_array().copy()
+    lib = make_library("xkblas", dgx1_small)
+    s = lib.session()
+    s.gemm_async(2.0, a, b, 1.0, c, nb=64, scenario="device")
+    s.memory_coherent_async(c, 64)
+    s.sync()
+    expect = ref_gemm(2.0, a.to_array(), b.to_array(), 1.0, c0)
+    np.testing.assert_allclose(c.to_array(), expect, atol=1e-10)

@@ -1,0 +1,186 @@
+"""Tests for device caches and eviction policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CoherenceError, DeviceOutOfMemoryError
+from repro.memory.cache import (
+    Blasx2LevelPolicy,
+    DeviceCache,
+    LruPolicy,
+    POLICIES,
+    ReadOnlyFirstPolicy,
+)
+from repro.memory.tile import TileKey
+
+
+def key(i, j=0):
+    return TileKey(0, i, j)
+
+
+def make_cache(capacity=1000):
+    return DeviceCache(device=0, capacity=capacity)
+
+
+# ----------------------------------------------------------------- cache
+
+
+def test_insert_remove_accounting():
+    c = make_cache(100)
+    c.insert(key(0), 40)
+    c.insert(key(1), 30)
+    assert (c.used, c.free, len(c)) == (70, 30, 2)
+    assert c.remove(key(0)) == 40
+    assert c.used == 30
+
+
+def test_double_insert_rejected():
+    c = make_cache()
+    c.insert(key(0), 10)
+    with pytest.raises(CoherenceError):
+        c.insert(key(0), 10)
+
+
+def test_insert_beyond_capacity_rejected():
+    c = make_cache(100)
+    with pytest.raises(DeviceOutOfMemoryError):
+        c.insert(key(0), 101)
+
+
+def test_remove_missing_or_pinned_rejected():
+    c = make_cache()
+    with pytest.raises(CoherenceError):
+        c.remove(key(9))
+    c.insert(key(0), 10)
+    c.pin(key(0))
+    with pytest.raises(CoherenceError):
+        c.remove(key(0))
+    c.unpin(key(0))
+    c.remove(key(0))
+
+
+def test_unbalanced_unpin_rejected():
+    c = make_cache()
+    c.insert(key(0), 10)
+    with pytest.raises(CoherenceError):
+        c.unpin(key(0))
+
+
+def test_touch_updates_recency_monotonically():
+    c = make_cache()
+    c.insert(key(0), 10, now=1.0)
+    c.touch(key(0), 5.0)
+    c.touch(key(0), 3.0)  # never goes backwards
+    assert c._resident[key(0)].last_use == 5.0
+
+
+def test_hit_miss_stats():
+    c = make_cache()
+    c.insert(key(0), 10)
+    assert c.record_access(key(0)) is True
+    assert c.record_access(key(1)) is False
+    stats = c.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(CoherenceError):
+        DeviceCache(0, capacity=0)
+
+
+# --------------------------------------------------------------- policies
+
+
+def setup_residents(c):
+    c.insert(key(0), 30, now=1.0)  # oldest, clean
+    c.insert(key(1), 30, now=2.0)  # dirty
+    c.insert(key(2), 30, now=3.0)  # newest, clean, shared elsewhere
+    c.mark_dirty(key(1))
+    c.mark_shared_elsewhere(key(2))
+
+
+def test_lru_evicts_oldest_first():
+    c = make_cache(100)
+    setup_residents(c)  # free = 10
+    victims = LruPolicy().choose_victims(c, needed=70)  # deficit 60
+    assert victims == [key(0), key(1)]
+
+
+def test_read_only_first_prefers_clean():
+    c = make_cache(100)
+    setup_residents(c)
+    # deficit 90: clean tiles (0 then 2 by recency) go before the dirty 1
+    victims = ReadOnlyFirstPolicy().choose_victims(c, needed=100)
+    assert victims == [key(0), key(2), key(1)]
+
+
+def test_blasx_policy_keeps_shared_replicas_longer():
+    c = make_cache(100)
+    setup_residents(c)
+    # deficit 30: clean non-shared (key0) suffices; shared key2 survives
+    victims = Blasx2LevelPolicy().choose_victims(c, needed=40)
+    assert victims == [key(0)]
+    # deficit 90: shared-elsewhere goes before dirty
+    victims = Blasx2LevelPolicy().choose_victims(c, needed=100)
+    assert victims == [key(0), key(2), key(1)]
+
+
+def test_pinned_tiles_never_chosen():
+    c = make_cache(100)
+    setup_residents(c)
+    c.pin(key(0))
+    victims = LruPolicy().choose_victims(c, needed=40)
+    assert key(0) not in victims
+
+
+def test_protected_tiles_never_chosen():
+    c = make_cache(100)
+    setup_residents(c)
+    victims = LruPolicy().choose_victims(c, needed=40, protect=[key(0)])
+    assert key(0) not in victims
+
+
+def test_no_eviction_needed_returns_empty():
+    c = make_cache(100)
+    c.insert(key(0), 10)
+    assert LruPolicy().choose_victims(c, needed=50) == []
+
+
+def test_oom_when_everything_pinned():
+    c = make_cache(100)
+    c.insert(key(0), 90)
+    c.pin(key(0))
+    with pytest.raises(DeviceOutOfMemoryError):
+        LruPolicy().choose_victims(c, needed=50)
+
+
+def test_policy_registry():
+    assert set(POLICIES) == {"lru", "read-only-first", "blasx-2level"}
+    for factory in POLICIES.values():
+        assert factory().victim_order([]) == []
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 50), st.booleans()),
+        min_size=1,
+        max_size=25,
+        unique_by=lambda t: t[0],
+    ),
+    st.sampled_from(sorted(POLICIES)),
+)
+def test_property_victims_free_enough_and_are_resident(entries, policy_name):
+    c = make_cache(5000)
+    for i, size, dirty in entries:
+        c.insert(key(i), size, now=float(i))
+        if dirty:
+            c.mark_dirty(key(i))
+    needed = c.used // 2 + c.free
+    policy = POLICIES[policy_name]()
+    victims = policy.choose_victims(c, needed=needed)
+    assert len(set(victims)) == len(victims)
+    freed = sum(c._resident[k].nbytes for k in victims)
+    assert c.free + freed >= needed
+    for k in victims:
+        assert k in c

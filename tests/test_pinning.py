@@ -1,0 +1,63 @@
+"""Tests for the host page-locking cost model (§IV-A methodology knob)."""
+
+import pytest
+
+from repro import Runtime, RuntimeOptions
+from repro.blas.tiled import build_gemm
+from repro.memory.matrix import Matrix
+from repro.sim.trace import TraceCategory
+from repro.topology.dgx1 import make_dgx1
+
+
+def gemm_runtime(dgx1_small, pinning=None):
+    rt = Runtime(dgx1_small, RuntimeOptions(pinning_bandwidth=pinning))
+    mats = [Matrix.meta(4096, 4096, name=x) for x in "ABC"]
+    parts = [rt.partition(m, 1024) for m in mats]
+    for t in build_gemm(1.0, parts[0], parts[1], 1.0, parts[2]):
+        rt.submit(t)
+    rt.memory_coherent_async(mats[2], 1024)
+    rt.sync()
+    return rt, mats
+
+
+def test_default_ignores_pinning(dgx1_small):
+    """The paper's methodology: page-lock time excluded by default."""
+    rt, _ = gemm_runtime(dgx1_small, pinning=None)
+    assert not rt.trace.filter(category=TraceCategory.HOST)
+
+
+def test_pinning_charged_once_per_matrix(dgx1_small):
+    rt, mats = gemm_runtime(dgx1_small, pinning=5e9)
+    pins = rt.trace.filter(category=TraceCategory.HOST)
+    assert len(pins) == 3  # A, B and C each registered exactly once
+    for iv in pins:
+        assert iv.duration == pytest.approx(mats[0].nbytes / 5e9)
+
+
+def test_pinning_is_serial_host_work(dgx1_small):
+    rt, _ = gemm_runtime(dgx1_small, pinning=5e9)
+    pins = sorted(rt.trace.filter(category=TraceCategory.HOST), key=lambda iv: iv.start)
+    for a, b in zip(pins, pins[1:]):
+        assert b.start >= a.end - 1e-12
+
+
+def test_pinning_slows_first_run(dgx1_small):
+    baseline, _ = gemm_runtime(dgx1_small, pinning=None)
+    pinned, _ = gemm_runtime(dgx1_small, pinning=5e9)
+    assert pinned.sim.now > baseline.sim.now
+
+
+def test_pinning_amortized_across_calls(dgx1_small):
+    """A second call on the same matrices pays nothing — the amortization
+    assumption the paper states."""
+    rt = Runtime(dgx1_small, RuntimeOptions(pinning_bandwidth=5e9))
+    mats = [Matrix.meta(4096, 4096, name=x) for x in "ABC"]
+    parts = [rt.partition(m, 1024) for m in mats]
+    for t in build_gemm(1.0, parts[0], parts[1], 0.0, parts[2]):
+        rt.submit(t)
+    first = rt.sync()
+    pins_after_first = len(rt.trace.filter(category=TraceCategory.HOST))
+    for t in build_gemm(1.0, parts[0], parts[1], 1.0, parts[2]):
+        rt.submit(t)
+    rt.sync()
+    assert len(rt.trace.filter(category=TraceCategory.HOST)) == pins_after_first

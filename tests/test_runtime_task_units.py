@@ -1,0 +1,106 @@
+"""Unit tests for Task/Access/Tile pieces not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TaskGraphError
+from repro.memory.layout import TilePartition
+from repro.memory.matrix import Matrix
+from repro.memory.tile import TileKey
+from repro.runtime.access import Access, AccessMode, R, RW, W
+from repro.runtime.task import Task, make_access_list
+
+
+@pytest.fixture()
+def tiles():
+    return TilePartition(Matrix.meta(64, 64), 32).tiles()
+
+
+def test_access_mode_flags():
+    assert R.reads and not R.writes
+    assert W.writes and not W.reads
+    assert RW.reads and RW.writes
+    assert AccessMode.READWRITE is AccessMode.READ | AccessMode.WRITE
+
+
+def test_access_repr(tiles):
+    assert repr(Access(tiles[0], AccessMode.READ)).startswith("R:")
+    assert repr(Access(tiles[0], AccessMode.READWRITE)).startswith("RW:")
+
+
+def test_make_access_list_order(tiles):
+    accesses = make_access_list(
+        reads=[tiles[0]], writes=[tiles[1]], readwrites=[tiles[2]]
+    )
+    assert [a.mode for a in accesses] == [
+        AccessMode.READ,
+        AccessMode.WRITE,
+        AccessMode.READWRITE,
+    ]
+
+
+def test_task_properties(tiles):
+    t = Task(
+        name="k",
+        accesses=make_access_list(reads=[tiles[0], tiles[1]], writes=[tiles[2]]),
+        flops=10.0,
+        dim=32,
+    )
+    assert t.reads == [tiles[0], tiles[1]]
+    assert t.writes == [tiles[2]]
+    assert t.output_tile is tiles[2]
+    # input bytes: the two read tiles (the W-only output is not read)
+    assert t.input_bytes == 2 * 32 * 32 * 8
+
+
+def test_rw_counts_as_input(tiles):
+    t = Task(
+        name="k",
+        accesses=make_access_list(readwrites=[tiles[0]]),
+        flops=1.0,
+        dim=32,
+    )
+    assert t.input_bytes == tiles[0].nbytes
+    assert t.output_tile is tiles[0]
+
+
+def test_reads_only_task_anchors_on_first_access(tiles):
+    t = Task(
+        name="flush",
+        accesses=[Access(tiles[1], AccessMode.READ)],
+        flops=0.0,
+        dim=32,
+    )
+    assert t.output_tile is tiles[1]
+
+
+def test_run_numeric_requires_kernel(tiles):
+    t = Task(
+        name="k",
+        accesses=make_access_list(writes=[tiles[0]]),
+        flops=1.0,
+        dim=32,
+    )
+    with pytest.raises(TaskGraphError):
+        t.run_numeric([np.zeros((2, 2))])
+
+
+def test_task_uids_monotonic(tiles):
+    a = Task(name="a", accesses=make_access_list(writes=[tiles[0]]), flops=1, dim=1)
+    b = Task(name="b", accesses=make_access_list(writes=[tiles[0]]), flops=1, dim=1)
+    assert b.uid > a.uid
+
+
+def test_tile_key_identity_and_repr(tiles):
+    key = tiles[0].key
+    assert key == TileKey(key.matrix_id, 0, 0)
+    assert repr(key) == f"T({key.matrix_id}:0,0)"
+    assert tiles[0] is not tiles[1]
+    assert hash(tiles[0]) != hash(tiles[1])  # identity-hashed handles
+
+
+def test_tile_geometry(tiles):
+    t = tiles[0]
+    assert (t.m, t.n, t.wordsize) == (32, 32, 8)
+    assert t.nbytes == 32 * 32 * 8
+    assert (t.i, t.j) == (0, 0)

@@ -1,0 +1,88 @@
+"""Tests for FIFO bandwidth channels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+
+
+def make_channel(bw=1e9, lat=0.0):
+    return Channel(Simulator(), bandwidth=bw, latency=lat, name="test")
+
+
+def test_transfer_time_is_latency_plus_bytes_over_bw():
+    chan = make_channel(bw=2e9, lat=1e-6)
+    assert chan.transfer_time(2_000_000_000) == pytest.approx(1.0 + 1e-6)
+
+
+def test_zero_bytes_costs_only_latency():
+    chan = make_channel(bw=1e9, lat=5e-6)
+    assert chan.transfer_time(0) == pytest.approx(5e-6)
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(SimulationError):
+        make_channel().transfer_time(-1)
+
+
+def test_invalid_bandwidth_rejected():
+    with pytest.raises(SimulationError):
+        Channel(Simulator(), bandwidth=0.0)
+    with pytest.raises(SimulationError):
+        Channel(Simulator(), bandwidth=1e9, latency=-1.0)
+
+
+def test_reservations_serialize_fifo():
+    chan = make_channel(bw=1e9)
+    s1, e1 = chan.reserve(1_000_000_000)  # 1 second
+    s2, e2 = chan.reserve(1_000_000_000)
+    assert (s1, e1) == (0.0, pytest.approx(1.0))
+    assert s2 == pytest.approx(1.0)
+    assert e2 == pytest.approx(2.0)
+    assert chan.busy_until == pytest.approx(2.0)
+
+
+def test_earliest_lower_bounds_the_start():
+    chan = make_channel(bw=1e9)
+    start, end = chan.reserve(1_000, earliest=5.0)
+    assert start == 5.0
+    assert end > 5.0
+
+
+def test_earliest_before_backlog_waits_for_backlog():
+    chan = make_channel(bw=1e9)
+    chan.reserve(1_000_000_000)  # busy until 1.0
+    start, _ = chan.reserve(1_000, earliest=0.5)
+    assert start == pytest.approx(1.0)
+
+
+def test_accounting():
+    chan = make_channel()
+    chan.reserve(100)
+    chan.reserve(200)
+    assert chan.bytes_moved == 300
+    assert chan.transfer_count == 2
+
+
+def test_utilization_bounds():
+    chan = make_channel(bw=1e9)
+    chan.reserve(500_000_000)
+    assert chan.utilization(horizon=1.0) == pytest.approx(0.5)
+    assert chan.utilization(horizon=0.0) == 0.0
+    assert chan.utilization(horizon=0.1) == 1.0  # clamped
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=10**9), min_size=1, max_size=30),
+    st.floats(min_value=1e6, max_value=1e11),
+)
+def test_property_fifo_intervals_never_overlap(sizes, bw):
+    chan = Channel(Simulator(), bandwidth=bw, latency=1e-7)
+    intervals = [chan.reserve(nbytes) for nbytes in sizes]
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2  # FIFO: next starts after previous ends
+        assert s2 < e2
+    total_bytes = sum(sizes)
+    assert chan.busy_until >= total_bytes / bw

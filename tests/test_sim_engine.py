@@ -1,0 +1,141 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append(3))
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_simultaneous_events_fire_in_submission_order():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(1.0, lambda i=i: fired.append(i))
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_schedule_after_relative_delay():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule_after(0.5, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_is_skipped():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("cancelled"))
+    sim.schedule(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 5:
+            sim.schedule_after(1.0, lambda: chain(depth + 1))
+
+    sim.schedule(0.0, lambda: chain(0))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_run_until_horizon_leaves_future_events_queued():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_max_events_guards_against_livelock():
+    sim = Simulator()
+
+    def respawn():
+        sim.schedule_after(1.0, respawn)
+
+    sim.schedule(0.0, respawn)
+    with pytest.raises(SimulationError, match="livelock"):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_reset_clears_everything():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.schedule(2.0, lambda: None)
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    seen = []
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+        seen.append(True)
+
+    sim.schedule(0.0, reenter)
+    sim.run()
+    assert seen == [True]
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_property_events_fire_in_nondecreasing_time(times):
+    sim = Simulator()
+    observed = []
+    for t in times:
+        sim.schedule(t, lambda t=t: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(times)
+    assert sim.events_fired == len(times)

@@ -1,0 +1,72 @@
+"""Tests for the tile-size autotuner."""
+
+import pytest
+
+from repro.bench.harness import run_point
+from repro.errors import BenchmarkError
+from repro.topology.dgx1 import make_dgx1
+from repro.tuning import TileTuner, TuningResult
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    return TileTuner(make_dgx1(4), min_nb=512, max_nb=4096)
+
+
+def test_tune_returns_valid_result(tuner):
+    result = tuner.tune("xkblas", "gemm", 8192, refine=False)
+    assert isinstance(result, TuningResult)
+    assert result.best_nb in result.evaluated
+    assert result.best_tflops == max(result.evaluated.values())
+    assert result.best_tflops > 0
+    assert 512 <= result.best_nb <= 4096
+
+
+def test_tuned_size_beats_or_matches_extremes(tuner):
+    plat = tuner.platform
+    result = tuner.tune("xkblas", "gemm", 8192)
+    smallest = run_point("xkblas", "gemm", 8192, 512, plat).tflops
+    largest = run_point("xkblas", "gemm", 8192, 4096, plat).tflops
+    assert result.best_tflops >= max(smallest, largest) * 0.999
+
+
+def test_cache_returns_identical_object(tuner):
+    r1 = tuner.tune("xkblas", "gemm", 8192)
+    r2 = tuner.tune("xkblas", "gemm", 8192)
+    assert r1 is r2
+
+
+def test_recommend_and_table(tuner):
+    nb = tuner.recommend("xkblas", "gemm", 8192)
+    assert nb == tuner.tune("xkblas", "gemm", 8192).best_nb
+    table = tuner.table("xkblas", "gemm", [4096, 8192])
+    assert len(table) == 2
+    assert all(tf > 0 for _, _, tf in table)
+
+
+def test_refinement_probes_midpoints(tuner):
+    coarse = tuner.tune("xkblas", "syr2k", 8192, refine=False)
+    fine = TileTuner(tuner.platform, min_nb=512, max_nb=4096).tune(
+        "xkblas", "syr2k", 8192, refine=True
+    )
+    assert fine.evaluations >= coarse.evaluations
+    assert fine.best_tflops >= coarse.best_tflops * 0.999
+
+
+def test_overfine_tiles_never_chosen():
+    tuner = TileTuner(make_dgx1(4), min_nb=64, max_nb=4096, max_tiles=8)
+    result = tuner.tune("xkblas", "gemm", 4096, refine=False)
+    assert 4096 / result.best_nb <= 8
+
+
+def test_invalid_range_rejected():
+    with pytest.raises(BenchmarkError):
+        TileTuner(make_dgx1(2), min_nb=0)
+    with pytest.raises(BenchmarkError):
+        TileTuner(make_dgx1(2), min_nb=2048, max_nb=1024)
+
+
+def test_scenario_cached_separately(tuner):
+    host = tuner.tune("xkblas", "gemm", 8192)
+    dod = tuner.tune("xkblas", "gemm", 8192, scenario="device")
+    assert host is not dod

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderers."""
+
+from repro.viz import bar_chart, line_chart, sparkline
+
+
+def test_line_chart_basic():
+    chart = line_chart(
+        {"a": {1000: 10.0, 2000: 20.0}, "b": {1000: 5.0, 2000: None}},
+        width=40,
+        height=8,
+        title="demo",
+    )
+    assert "demo" in chart
+    assert "o=a" in chart and "x=b" in chart
+    assert chart.count("o") >= 2  # both points of series a plotted
+    assert chart.count("x") >= 1  # the None point skipped
+
+
+def test_line_chart_empty():
+    assert line_chart({}) == "(no data)"
+    assert line_chart({"a": {1: None}}) == "(no data)"
+
+
+def test_line_chart_overplot_marker():
+    chart = line_chart({"a": {1: 5.0}, "b": {1: 5.0}}, width=10, height=4)
+    assert "?" in chart
+
+
+def test_line_chart_x_scaling_proportional():
+    chart = line_chart({"a": {0: 1.0, 100: 1.0, 1000: 1.0}}, width=50, height=4)
+    rows = [l for l in chart.splitlines() if "o" in l]
+    row = rows[0]
+    first, last = row.index("o"), row.rindex("o")
+    # Point at x=100 must sit near the left (10% of span), not the middle.
+    mid = row.replace("o", " ", 1).index("o") if row.count("o") > 2 else None
+    assert last - first > 30  # full span used
+
+
+def test_bar_chart():
+    chart = bar_chart({"xkblas": 50.0, "slate": 10.0}, width=20, unit=" TF")
+    lines = chart.splitlines()
+    assert lines[0].count("#") == 20
+    assert 0 < lines[1].count("#") <= 5
+    assert "50.00 TF" in lines[0]
+
+
+def test_bar_chart_empty_and_zero():
+    assert bar_chart({}) == "(no data)"
+    chart = bar_chart({"z": 0.0})
+    assert "z" in chart
+
+
+def test_sparkline():
+    line = sparkline([0, 1, 2, 3])
+    assert len(line) == 4
+    assert line[0] == "▁" and line[-1] == "█"
+    assert sparkline([]) == ""
+    assert len(sparkline([5.0, None, 6.0])) == 3
