@@ -77,6 +77,15 @@ PAPER_TILE_SIZES = (1024, 2048, 4096)
 #: Extended tile sizes used for cuBLAS-XT and SLATE in the paper.
 PAPER_TILE_SIZES_EXTENDED = (1024, 2048, 4096, 8192, 16384)
 
+# --- verification -------------------------------------------------------------
+
+#: Default of ``RuntimeOptions.verify_coherence``: run the coherence-protocol
+#: sanitizer (:class:`repro.verify.coherence.CoherenceSanitizer`) at every
+#: directory state transition.  Off by default — it is a debugging/CI mode,
+#: like a sanitizer build of a C library.  Flip the module flag to opt every
+#: subsequently created runtime in.
+VERIFY_COHERENCE = False
+
 # --- host model ----------------------------------------------------------------
 
 #: Host main memory on the DGX-1 of Table I.

@@ -54,3 +54,15 @@ class LibraryError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness for inconsistent experiment setups."""
+
+
+class VerificationError(ReproError):
+    """Raised by :mod:`repro.verify` when an invariant check fails.
+
+    Carries the list of :class:`repro.verify.base.Finding` objects that
+    triggered it in :attr:`findings`.
+    """
+
+    def __init__(self, message: str, findings: list = ()) -> None:
+        super().__init__(message)
+        self.findings = list(findings)

@@ -102,6 +102,14 @@ class CoherenceDirectory:
     def generation(self, key: TileKey) -> int:
         return self._entry(key).generation
 
+    def keys(self) -> list[TileKey]:
+        """All tiles the directory has an entry for (verification/inspection)."""
+        return list(self._entries)
+
+    def replicas(self, key: TileKey) -> dict[int, ReplicaState]:
+        """Snapshot of every replica state of the tile (location -> state)."""
+        return dict(self._entry(key).states)
+
     # ------------------------------------------------------------ in-flight
 
     def in_flight_to(self, key: TileKey, dst: int) -> InFlight | None:
@@ -113,7 +121,7 @@ class CoherenceDirectory:
 
     def earliest_flight(self, key: TileKey) -> InFlight | None:
         """The in-flight replica that completes first (optimistic heuristic)."""
-        flights = self._entry(key).flights if False else self._entry(key).in_flight
+        flights = self._entry(key).in_flight
         if not flights:
             return None
         return min(flights.values(), key=lambda f: (f.completes_at, f.dst))

@@ -95,7 +95,7 @@ class TilePartition:
         return out
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class BlockCyclicDistribution:
     """ScaLAPACK-style 2D block-cyclic tile→device mapping.
 

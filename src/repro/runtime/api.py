@@ -52,7 +52,7 @@ from repro.sim.trace import TraceRecorder
 from repro.topology.platform import Platform
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class RuntimeOptions:
     """Tunable knobs of one runtime instance (one library configuration)."""
 
@@ -90,6 +90,12 @@ class RuntimeOptions:
     pinning_bandwidth: float | None = None
     #: distribution used by owner-computes when tasks carry no hint.
     distribution: BlockCyclicDistribution | None = None
+    #: run the coherence-protocol sanitizer at every directory transition
+    #: (ASan-style debugging mode; see :mod:`repro.verify.coherence`).  The
+    #: default follows :data:`repro.config.VERIFY_COHERENCE` at construction.
+    verify_coherence: bool = dataclasses.field(
+        default_factory=lambda: config.VERIFY_COHERENCE
+    )
 
 
 class Runtime:
@@ -117,6 +123,12 @@ class Runtime:
                 f"unknown eviction policy {opts.eviction!r}; "
                 f"choose from {sorted(POLICIES)}"
             ) from None
+        sanitizer = None
+        if opts.verify_coherence:
+            from repro.verify.coherence import CoherenceSanitizer
+
+            sanitizer = CoherenceSanitizer(self.directory, platform=platform)
+        self.sanitizer = sanitizer
         self.transfer = TransferManager(
             sim=self.sim,
             platform=platform,
@@ -128,6 +140,7 @@ class Runtime:
             trace=self.trace,
             policy=opts.source_policy,
             pinning_bandwidth=opts.pinning_bandwidth,
+            sanitizer=sanitizer,
         )
         self.scheduler = self._make_scheduler()
         self.executor = Executor(

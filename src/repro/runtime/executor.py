@@ -37,7 +37,7 @@ from repro.sim.trace import TraceCategory, TraceRecorder
 from repro.topology.platform import Platform
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _Worker:
     device: int
     streams: list[Stream]
@@ -238,6 +238,9 @@ class Executor:
                 cache.unpin(key)
             if not self.retain_inputs:
                 self._drop_clean_inputs(task, worker.device)
+            if self.transfer.sanitizer is not None:
+                for access in task.accesses:
+                    self.transfer.sanitize(access.tile.key)
             worker.inflight -= 1
             self._finish(task)
 

@@ -24,7 +24,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.transfer import TransferManager
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class SchedulerContext:
     """Read-only view of runtime state offered to scheduling policies."""
 

@@ -63,8 +63,12 @@ class TransferManager:
         trace: TraceRecorder,
         policy: SourcePolicy = SourcePolicy.TOPOLOGY_OPTIMISTIC,
         pinning_bandwidth: float | None = None,
+        sanitizer=None,
     ) -> None:
         self.sim = sim
+        #: optional :class:`repro.verify.coherence.CoherenceSanitizer` called
+        #: after every directory state transition (``verify_coherence`` mode).
+        self.sanitizer = sanitizer
         self.platform = platform
         self.fabric = fabric
         self.directory = directory
@@ -82,6 +86,13 @@ class TransferManager:
         self.d2h_transfers = 0
         self.p2p_transfers = 0
         self.optimistic_forwards = 0
+
+    # ---------------------------------------------------------- verification
+
+    def sanitize(self, key: TileKey) -> None:
+        """Re-check the tile's coherence invariants (no-op without sanitizer)."""
+        if self.sanitizer is not None:
+            self.sanitizer.check_tile(key)
 
     # ------------------------------------------------------------ residency
 
@@ -134,7 +145,8 @@ class TransferManager:
         else:
             self.p2p_transfers += 1
             self.trace.record(
-                TraceCategory.MEMCPY_PTOP, dst, start, end, f"p2p {source}->{dst} {key}", tile.nbytes
+                TraceCategory.MEMCPY_PTOP, dst, start, end,
+                f"p2p {source}->{dst} {key}", tile.nbytes,
             )
 
         def _on_complete(source=source, dst=dst, tile=tile, src_pinned=src_pinned) -> None:
@@ -149,8 +161,10 @@ class TransferManager:
                 # Invalidated mid-flight by a writer: drop the stale bytes.
                 cache.remove(tile.key)
                 self.datastore.drop_device_tile(tile.key, dst)
+            self.sanitize(tile.key)
 
         self.sim.schedule(end, _on_complete)
+        self.sanitize(key)
         return end
 
     def _select_source(self, key: TileKey, dst: int, now: float) -> tuple[int, float]:
@@ -283,8 +297,10 @@ class TransferManager:
                         pass  # already SHARED
                     if tile.key in self.caches[source]:
                         self.caches[source].mark_dirty(tile.key, False)
+            self.sanitize(tile.key)
 
         self.sim.schedule(end, _on_complete)
+        self.sanitize(key)
         return end
 
     # -------------------------------------------------------------- writes
@@ -320,6 +336,7 @@ class TransferManager:
         cache.mark_dirty(key, True)
         cache.touch(key, when)
         self._refresh_shared_flags(key)
+        self.sanitize(key)
 
     def allocate_output(self, tile: Tile, device: int, earliest: float) -> float:
         """Ensure space for a WRITE-only output tile; returns readiness time."""
@@ -367,6 +384,7 @@ class TransferManager:
                 self.datastore.drop_device_tile(vkey, device)
                 self._refresh_shared_flags(vkey)
             cache.evictions += 1
+            self.sanitize(vkey)
         return ready
 
     # ----------------------------------------------------------- bookkeeping

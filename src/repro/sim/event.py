@@ -12,7 +12,7 @@ import dataclasses
 from typing import Any, Callable
 
 
-@dataclasses.dataclass(order=True)
+@dataclasses.dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 

@@ -35,7 +35,9 @@ def make_summit_node(num_gpus: int = 6, gpu: GpuSpec | None = None) -> Platform:
     """
     if not 1 <= num_gpus <= 6:
         raise ValueError(f"Summit node has 1..6 GPUs, requested {num_gpus}")
-    spec = gpu if gpu is not None else GpuSpec(name="V100-SXM2-16GB", memory_bytes=int(16 * config.GB))
+    if gpu is None:
+        gpu = GpuSpec(name="V100-SXM2-16GB", memory_bytes=int(16 * config.GB))
+    spec = gpu
     links: list[Link] = []
     for i, j in itertools.permutations(range(num_gpus), 2):
         same_socket = (i < 3) == (j < 3)

@@ -1,0 +1,37 @@
+"""Verification subsystem: machine-checks for the invariants the paper states
+in prose.
+
+Three analysis passes plus runtime wiring:
+
+* :mod:`repro.verify.graph` — task-graph race & deadlock detector over any
+  built :class:`~repro.runtime.dataflow.TaskGraph` (RAW/WAR/WAW conflict
+  ordering, cycles, predecessor-counter consistency);
+* :mod:`repro.verify.coherence` — MOSI+in-flight protocol invariants over a
+  :class:`~repro.memory.coherence.CoherenceDirectory`, as a one-shot check or
+  as a runtime sanitizer (``RuntimeOptions.verify_coherence``);
+* :mod:`repro.verify.trace_lint` — post-mortem linter replaying an
+  nvprof-like :class:`~repro.sim.trace.TraceRecorder` stream;
+* :mod:`repro.verify.lint` — project-specific AST rules over the sources.
+
+``python -m repro.verify`` runs everything and exits non-zero on findings.
+"""
+
+from repro.verify.base import Finding, raise_on_findings, render_report
+from repro.verify.coherence import CoherenceSanitizer, check_directory, check_tile
+from repro.verify.graph import assert_graph_ok, verify_graph
+from repro.verify.lint import lint_path, lint_source
+from repro.verify.trace_lint import lint_trace
+
+__all__ = [
+    "CoherenceSanitizer",
+    "Finding",
+    "assert_graph_ok",
+    "check_directory",
+    "check_tile",
+    "lint_path",
+    "lint_source",
+    "lint_trace",
+    "raise_on_findings",
+    "render_report",
+    "verify_graph",
+]

@@ -1,0 +1,66 @@
+"""Shared types of the verification subsystem.
+
+Every analysis pass (task-graph detector, coherence checker, trace linter,
+AST lint) reports :class:`Finding` records: a machine-readable code, the
+subject it applies to and a human-readable message.  Passes never raise on a
+violation themselves — callers decide whether findings are fatal
+(:func:`raise_on_findings`, used by the sanitizer and the CLI) or merely
+collected (tests asserting that a seeded violation *is* caught).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import VerificationError
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Finding:
+    """One verification finding.
+
+    Attributes
+    ----------
+    pass_name:
+        Which analysis produced it ("graph", "coherence", "trace", "lint").
+    code:
+        Stable machine-readable identifier, e.g. ``G001`` (unordered conflict)
+        or ``C001`` (double-MODIFIED replica).
+    subject:
+        What the finding is about: a task pair, a tile key, a file:line.
+    message:
+        Human-readable explanation.
+    """
+
+    pass_name: str
+    code: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.pass_name}:{self.code}] {self.subject}: {self.message}"
+
+
+def raise_on_findings(findings: list[Finding], context: str = "") -> None:
+    """Raise :class:`~repro.errors.VerificationError` if ``findings`` is non-empty."""
+    if not findings:
+        return
+    head = f"{context}: " if context else ""
+    lines = "\n".join(f"  {f}" for f in findings)
+    raise VerificationError(
+        f"{head}{len(findings)} verification finding(s):\n{lines}", findings
+    )
+
+
+def render_report(findings: list[Finding]) -> str:
+    """Plain-text report of findings grouped by pass (CLI output)."""
+    if not findings:
+        return "no findings"
+    by_pass: dict[str, list[Finding]] = {}
+    for f in findings:
+        by_pass.setdefault(f.pass_name, []).append(f)
+    out = []
+    for name in sorted(by_pass):
+        out.append(f"{name}: {len(by_pass[name])} finding(s)")
+        out.extend(f"  {f}" for f in by_pass[name])
+    return "\n".join(out)

@@ -1,0 +1,197 @@
+"""``python -m repro.verify`` — run every verification pass over the project.
+
+Three stages, any finding makes the exit status non-zero:
+
+1. **lint** — the project AST rules of :mod:`repro.verify.lint` over the
+   installed ``repro`` package sources (override with ``--src``);
+2. **graph** — build the task graphs of all six tiled BLAS-3 routines plus
+   the TRSM+GEMM composition and certify them with the race/deadlock
+   detector, pre-execution;
+3. **runtime** — execute each of those graphs on a simulated platform with
+   the coherence sanitizer enabled, then re-certify the executed graph
+   (timing-aware), sweep the final coherence directory, lint the recorded
+   trace, and lint a data-distribution phase with the topology-aware trace
+   rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import repro
+from repro import Runtime, RuntimeOptions
+from repro.blas import tiled
+from repro.blas.params import Diag, Side, Trans, Uplo
+from repro.memory.layout import BlockCyclicDistribution, TilePartition, default_grid
+from repro.memory.matrix import Matrix
+from repro.runtime.dataflow import TaskGraph
+from repro.topology.dgx1 import make_dgx1
+from repro.verify.base import Finding, render_report
+from repro.verify.coherence import check_directory
+from repro.verify.graph import verify_graph
+from repro.verify.lint import lint_path
+from repro.verify.trace_lint import lint_trace
+
+#: the six tiled BLAS-3 routines of the paper's Fig. 5, plus the composition.
+ROUTINES = ("gemm", "symm", "syrk", "syr2k", "trmm", "trsm", "composition")
+
+
+def _partition(n: int, nb: int, name: str) -> TilePartition:
+    return TilePartition(Matrix.meta(n, n, name=name), nb)
+
+
+def build_tasks(routine: str, n: int, nb: int) -> list:
+    """Submission-ordered task list of one routine (metadata matrices)."""
+    a = _partition(n, nb, "A")
+    b = _partition(n, nb, "B")
+    c = _partition(n, nb, "C")
+    if routine == "gemm":
+        return list(tiled.build_gemm(1.0, a, b, 0.5, c))
+    if routine == "symm":
+        return list(tiled.build_symm(Side.LEFT, Uplo.LOWER, 1.0, a, b, 0.5, c))
+    if routine == "syrk":
+        return list(tiled.build_syrk(Uplo.LOWER, Trans.NOTRANS, 1.0, a, 0.5, c))
+    if routine == "syr2k":
+        return list(
+            tiled.build_syr2k(Uplo.LOWER, Trans.NOTRANS, 1.0, a, b, 0.5, c)
+        )
+    if routine == "trmm":
+        return list(
+            tiled.build_trmm(
+                Side.LEFT, Uplo.LOWER, Trans.NOTRANS, Diag.NONUNIT, 1.0, a, b
+            )
+        )
+    if routine == "trsm":
+        return list(
+            tiled.build_trsm(
+                Side.LEFT, Uplo.LOWER, Trans.NOTRANS, Diag.NONUNIT, 1.0, a, b
+            )
+        )
+    if routine == "composition":
+        # TRSM producing B, then a GEMM consuming it (§IV-F composition).
+        d = _partition(n, nb, "D")
+        tasks = list(
+            tiled.build_trsm(
+                Side.LEFT, Uplo.LOWER, Trans.NOTRANS, Diag.NONUNIT, 1.0, a, b
+            )
+        )
+        tasks += list(tiled.build_gemm(1.0, b, c, 0.5, d))
+        return tasks
+    raise ValueError(f"unknown routine {routine!r}")
+
+
+def verify_built_graphs(n: int, nb: int) -> list[Finding]:
+    """Stage 2: certify freshly built (unexecuted) graphs."""
+    findings: list[Finding] = []
+    for routine in ROUTINES:
+        graph = TaskGraph()
+        for task in build_tasks(routine, n, nb):
+            graph.add(task)
+        for f in verify_graph(graph):
+            findings.append(
+                Finding(f.pass_name, f.code, f"{routine}: {f.subject}", f.message)
+            )
+    return findings
+
+
+def verify_executed_run(routine: str, n: int, nb: int, gpus: int) -> list[Finding]:
+    """Stage 3 (per routine): run with the sanitizer on, then post-mortem."""
+    platform = make_dgx1(gpus)
+    rt = Runtime(platform, RuntimeOptions(verify_coherence=True))
+    tasks = build_tasks(routine, n, nb)
+    # Register the partitions so flushes see them, then submit and drain.
+    for task in tasks:
+        rt.submit(task)
+    rt.sync()
+    findings = verify_graph(rt.executor.graph)
+    findings += check_directory(rt.directory, platform)
+    evictions = sum(int(c.stats()["evictions"]) for c in rt.caches.values())
+    findings += lint_trace(rt.trace, platform, evictions=evictions)
+    return [
+        Finding(f.pass_name, f.code, f"{routine}: {f.subject}", f.message)
+        for f in findings
+    ]
+
+
+def verify_distribution_phase(n: int, nb: int, gpus: int) -> list[Finding]:
+    """Stage 3 (extra): topology-aware trace rules on a distribution phase.
+
+    A 2D block-cyclic upload is a queue-delay-free, kernel-free stream — the
+    window in which the strict T006/T007 rules are exact.
+    """
+    platform = make_dgx1(gpus)
+    rt = Runtime(platform, RuntimeOptions(verify_coherence=True))
+    matrix = Matrix.meta(n, n, name="DIST")
+    grid_p, grid_q = default_grid(gpus)
+    dist = BlockCyclicDistribution(grid_p=grid_p, grid_q=grid_q)
+    rt.distribute_2d_block_cyclic_async(matrix, nb, dist, upload=True)
+    rt.sync()
+    findings = lint_trace(rt.trace, platform, topology_aware=True)
+    findings += check_directory(rt.directory, platform)
+    return [
+        Finding(f.pass_name, f.code, f"distribution: {f.subject}", f.message)
+        for f in findings
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Static and dynamic verification of the repro stack.",
+    )
+    parser.add_argument(
+        "--src",
+        type=Path,
+        default=Path(repro.__file__).parent,
+        help="package root to lint (default: the installed repro package)",
+    )
+    parser.add_argument("--n", type=int, default=256, help="matrix order")
+    parser.add_argument("--nb", type=int, default=64, help="tile size")
+    parser.add_argument("--gpus", type=int, default=4, help="simulated GPUs")
+    parser.add_argument("--skip-lint", action="store_true")
+    parser.add_argument("--skip-graph", action="store_true")
+    parser.add_argument("--skip-runtime", action="store_true")
+    parser.add_argument(
+        "--fast", action="store_true", help="smaller problems (CI-friendly)"
+    )
+    args = parser.parse_args(argv)
+    n, nb = (128, 32) if args.fast else (args.n, args.nb)
+    if n <= 0 or nb <= 0 or args.gpus <= 0:
+        parser.error(f"--n, --nb and --gpus must be positive (got {n}, {nb}, {args.gpus})")
+
+    findings: list[Finding] = []
+    if not args.skip_lint:
+        if not args.src.is_dir():
+            parser.error(f"--src {args.src} is not a directory")
+        lint = lint_path(args.src)
+        print(f"lint: {len(lint)} finding(s) over {args.src}")
+        findings += lint
+    if not args.skip_graph:
+        graph = verify_built_graphs(n, nb)
+        print(
+            f"graph: {len(graph)} finding(s) over {len(ROUTINES)} built "
+            f"graphs (n={n}, nb={nb})"
+        )
+        findings += graph
+    if not args.skip_runtime:
+        runtime: list[Finding] = []
+        for routine in ROUTINES:
+            runtime += verify_executed_run(routine, n, nb, args.gpus)
+        runtime += verify_distribution_phase(n, nb, args.gpus)
+        print(
+            f"runtime: {len(runtime)} finding(s) over {len(ROUTINES)} "
+            f"sanitized runs + distribution phase ({args.gpus} GPUs)"
+        )
+        findings += runtime
+
+    if findings:
+        print(render_report(findings))
+        return 1
+    print("OK: all verification passes are clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -8,7 +8,6 @@ from repro.memory.matrix import Matrix
 from repro.runtime.task import Task, make_access_list
 from repro.sim.analysis import analyze, critical_path, load_imbalance, overlap_efficiency
 from repro.sim.trace import TraceCategory, TraceRecorder
-from repro.topology.dgx1 import make_dgx1
 
 
 def chain_runtime(dgx1_small, length=5):

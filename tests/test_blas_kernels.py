@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
-from hypothesis.extra import numpy as hnp
 
 from repro.blas import kernels as K
 from repro.blas.params import Diag, Side, Trans, Uplo

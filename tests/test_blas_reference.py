@@ -30,7 +30,10 @@ def test_symm_equals_gemm_on_symmetric_input():
 
 def test_symm_shape_validation():
     with pytest.raises(BlasValidationError):
-        ref.ref_symm(Side.LEFT, Uplo.LOWER, 1.0, RNG.random((3, 3)), RNG.random((4, 2)), 0.0, np.zeros((4, 2)))
+        ref.ref_symm(
+            Side.LEFT, Uplo.LOWER, 1.0,
+            RNG.random((3, 3)), RNG.random((4, 2)), 0.0, np.zeros((4, 2)),
+        )
 
 
 def test_syrk_equals_gemm_with_own_transpose():

@@ -6,8 +6,6 @@ just has to execute end-to-end on reduced inputs and produce a well-formed
 sizes are outside their calibrated regime.
 """
 
-import pytest
-
 from repro.bench.experiments import (
     EXPERIMENTS,
     fig2_bandwidth,

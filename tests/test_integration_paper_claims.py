@@ -8,9 +8,6 @@ from the evaluation section.
 import pytest
 
 from repro.bench.harness import run_point
-from repro.blas.params import Trans, Uplo
-from repro.libraries import make_library
-from repro.memory.matrix import Matrix
 from repro.topology.dgx1 import make_dgx1
 from repro.topology.summit import make_summit_node
 

@@ -114,9 +114,9 @@ def test_getrf_nopiv_factors(dgx1_small):
     rt.memory_coherent_async(mat, NB)
     rt.sync()
     lu = mat.to_array()
-    l = np.tril(lu, -1) + np.eye(N)
-    u = np.triu(lu)
-    np.testing.assert_allclose(l @ u, a_full, atol=1e-7)
+    lower = np.tril(lu, -1) + np.eye(N)
+    upper = np.triu(lu)
+    np.testing.assert_allclose(lower @ upper, a_full, atol=1e-7)
 
 
 def test_gesv_solves_system(dgx1_small):

@@ -6,7 +6,6 @@ from repro import Runtime, RuntimeOptions
 from repro.blas.tiled import build_gemm
 from repro.memory.matrix import Matrix
 from repro.sim.trace import TraceCategory
-from repro.topology.dgx1 import make_dgx1
 
 
 def gemm_runtime(dgx1_small, pinning=None):

@@ -15,7 +15,6 @@ Invariants checked after every run:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Runtime, RuntimeOptions

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import TaskGraphError
 from repro.memory.layout import TilePartition
 from repro.memory.matrix import Matrix
-from repro.runtime.access import Access, AccessMode, R, RW, W
+from repro.runtime.access import Access, AccessMode
 from repro.runtime.dataflow import TaskGraph
 from repro.runtime.task import Task, make_access_list
 

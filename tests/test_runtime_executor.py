@@ -10,7 +10,6 @@ from repro.memory.matrix import Matrix
 from repro.runtime.access import Access, AccessMode
 from repro.runtime.task import Task, make_access_list
 from repro.sim.trace import TraceCategory
-from repro.topology.dgx1 import make_dgx1
 
 
 def make_runtime(platform, **opts) -> Runtime:

@@ -1,11 +1,8 @@
 """Tests for RuntimeOptions knobs not covered elsewhere."""
 
-import pytest
-
 from repro import Runtime, RuntimeOptions
 from repro.blas.tiled import build_gemm
 from repro.memory.matrix import Matrix
-from repro.topology.dgx1 import make_dgx1
 
 
 def run_gemm(dgx1_small, **opts):

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro import Runtime, RuntimeOptions
+from repro import Runtime
 from repro.errors import SchedulingError
-from repro.memory.layout import BlockCyclicDistribution, TilePartition
+from repro.memory.layout import BlockCyclicDistribution
 from repro.memory.matrix import Matrix
 from repro.runtime.scheduler import (
     DmdaScheduler,

@@ -1,7 +1,5 @@
 """Tests for the transfer manager — the paper's two heuristics."""
 
-import pytest
-
 from repro import Runtime, RuntimeOptions
 from repro.memory.matrix import Matrix
 from repro.runtime.policies import SourcePolicy

@@ -3,7 +3,7 @@ graphs (MODIFIED-only owner binding + load-adaptive push)."""
 
 import pytest
 
-from repro import Runtime, RuntimeOptions
+from repro import Runtime
 from repro.memory.matrix import Matrix
 from repro.runtime.scheduler import LocalityWorkStealing
 from repro.runtime.scheduler.base import SchedulerContext

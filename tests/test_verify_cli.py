@@ -1,0 +1,41 @@
+"""Tests for ``python -m repro.verify`` (:mod:`repro.verify.cli`)."""
+
+import pytest
+
+from repro.verify import cli
+
+
+def test_static_stages_pass_on_the_repository():
+    assert cli.main(["--skip-runtime", "--fast"]) == 0
+
+
+def test_cli_exit_code_and_report_on_findings(tmp_path, capsys):
+    bad = tmp_path / "sim"
+    bad.mkdir()
+    (bad / "clock.py").write_text("import time\nNOW = time.time()\n", encoding="utf-8")
+    assert cli.main(["--src", str(tmp_path), "--skip-graph", "--skip-runtime"]) == 1
+    out = capsys.readouterr().out
+    assert "L001" in out and "1 finding(s)" in out
+
+
+def test_build_tasks_covers_every_routine():
+    for routine in cli.ROUTINES:
+        tasks = cli.build_tasks(routine, 64, 32)
+        assert tasks and all(t.accesses for t in tasks)
+
+
+def test_build_tasks_rejects_unknown_routine():
+    with pytest.raises(ValueError):
+        cli.build_tasks("cholesky", 64, 32)
+
+
+def test_built_graphs_verify_clean_at_small_size():
+    assert cli.verify_built_graphs(64, 32) == []
+
+
+def test_executed_run_verifies_clean():
+    assert cli.verify_executed_run("gemm", 64, 32, 2) == []
+
+
+def test_distribution_phase_verifies_clean():
+    assert cli.verify_distribution_phase(64, 32, 2) == []

@@ -1,0 +1,129 @@
+"""Tests for the project AST lint rules (:mod:`repro.verify.lint`).
+
+The repository's own sources must lint clean; each rule is proven live on
+synthetic modules placed (by relative path) inside and outside its scope.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.verify.lint import lint_path, lint_source
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def test_repository_sources_lint_clean():
+    assert lint_path(Path(repro.__file__).parent) == []
+
+
+# ------------------------------------------------------------ L001 wall clock
+
+
+def test_wall_clock_call_in_sim_detected():
+    src = "import time\n\ndef now():\n    return time.time()\n"
+    assert codes(lint_source(src, Path("sim/engine.py"))) == {"L001"}
+
+
+def test_wall_clock_variants_detected():
+    for call in ("time.monotonic()", "time.perf_counter_ns()",
+                 "datetime.datetime.now()"):
+        src = f"import time, datetime\n\ndef f():\n    return {call}\n"
+        assert codes(lint_source(src, Path("runtime/executor.py"))) == {"L001"}
+
+
+def test_from_import_wall_clock_detected():
+    src = "from time import perf_counter as pc\n\ndef f():\n    return pc()\n"
+    assert codes(lint_source(src, Path("sim/stream.py"))) == {"L001"}
+
+
+def test_wall_clock_outside_virtual_time_scope_is_fine():
+    src = "import time\n\ndef now():\n    return time.time()\n"
+    assert lint_source(src, Path("bench/harness.py")) == []
+
+
+# ------------------------------------------------------------ L002 salted hash
+
+
+def test_builtin_hash_in_memory_detected():
+    src = "def bucket(key):\n    return hash(key) % 7\n"
+    assert codes(lint_source(src, Path("memory/cache.py"))) == {"L002"}
+
+
+def test_builtin_hash_outside_scope_is_fine():
+    src = "def bucket(key):\n    return hash(key) % 7\n"
+    assert lint_source(src, Path("blas/tiled.py")) == []
+
+
+# ---------------------------------------------------------------- L003 slots
+
+
+def test_dataclass_without_slots_detected():
+    src = (
+        "import dataclasses\n\n"
+        "@dataclasses.dataclass\n"
+        "class Hot:\n"
+        "    x: int = 0\n"
+    )
+    assert codes(lint_source(src, Path("runtime/task.py"))) == {"L003"}
+
+
+def test_bare_dataclass_decorator_detected():
+    src = (
+        "from dataclasses import dataclass\n\n"
+        "@dataclass\n"
+        "class Hot:\n"
+        "    x: int = 0\n"
+    )
+    assert codes(lint_source(src, Path("sim/event.py"))) == {"L003"}
+
+
+def test_dataclass_with_slots_is_fine():
+    src = (
+        "import dataclasses\n\n"
+        "@dataclasses.dataclass(frozen=True, slots=True)\n"
+        "class Hot:\n"
+        "    x: int = 0\n"
+    )
+    assert lint_source(src, Path("memory/tile.py")) == []
+
+
+def test_dataclass_outside_hot_scopes_is_fine():
+    src = "import dataclasses\n\n@dataclasses.dataclass\nclass Cfg:\n    x: int = 0\n"
+    assert lint_source(src, Path("bench/experiments/fig2.py")) == []
+
+
+# ------------------------------------------------------- L004 state ownership
+
+
+def test_state_mutation_outside_owners_detected():
+    src = "def hack(task):\n    task.state = 'done'\n"
+    assert codes(lint_source(src, Path("runtime/scheduler/base.py"))) == {"L004"}
+
+
+def test_state_mutation_in_owner_modules_is_fine():
+    src = "def advance(task):\n    task.state = 'done'\n"
+    assert lint_source(src, Path("runtime/executor.py")) == []
+    assert lint_source(src, Path("runtime/dataflow.py")) == []
+
+
+# ------------------------------------------------------------------- plumbing
+
+
+def test_syntax_error_reported_not_raised():
+    assert codes(lint_source("def broken(:\n", Path("sim/x.py"))) == {"L000"}
+
+
+def test_lint_path_walks_a_seeded_tree(tmp_path):
+    (tmp_path / "sim").mkdir()
+    (tmp_path / "sim" / "clock.py").write_text(
+        "import time\nNOW = time.time()\n", encoding="utf-8"
+    )
+    (tmp_path / "analysis").mkdir()
+    (tmp_path / "analysis" / "ok.py").write_text(
+        "import time\nNOW = time.time()\n", encoding="utf-8"
+    )
+    findings = lint_path(tmp_path)
+    assert codes(findings) == {"L001"}
+    assert all("sim" in f.subject for f in findings)

@@ -1,0 +1,188 @@
+"""Tests for the post-mortem trace linter (:mod:`repro.verify.trace_lint`).
+
+Real runs lint clean; synthetic traces seed each violation class — an
+overlapping duplicate H2D, a forward without provenance, a rank-order
+contradiction — and the linter must convict exactly those.
+"""
+
+from repro import Runtime
+from repro.blas.tiled import build_gemm
+from repro.memory.layout import BlockCyclicDistribution
+from repro.memory.matrix import Matrix
+from repro.sim.trace import TraceCategory, TraceRecorder
+from repro.topology.dgx1 import make_dgx1
+from repro.verify.trace_lint import lint_trace
+
+KEY = "T(0:0,0)"
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def h2d(tr, dev, start, end, key=KEY):
+    tr.record(TraceCategory.MEMCPY_HTOD, dev, start, end, f"h2d {key}")
+
+
+def d2h(tr, dev, start, end, key=KEY):
+    tr.record(TraceCategory.MEMCPY_DTOH, dev, start, end, f"d2h {key}")
+
+
+def p2p(tr, src, dst, start, end, key=KEY):
+    tr.record(TraceCategory.MEMCPY_PTOP, dst, start, end, f"p2p {src}->{dst} {key}")
+
+
+def kernel(tr, dev, start, end):
+    tr.record(TraceCategory.KERNEL, dev, start, end, "dgemm")
+
+
+# ------------------------------------------------------------------ real runs
+
+
+def test_executed_gemm_trace_lints_clean():
+    platform = make_dgx1(2)
+    rt = Runtime(platform)
+    mats = [Matrix.meta(128, 128, name=x) for x in "ABC"]
+    parts = [rt.partition(m, 32) for m in mats]
+    for t in build_gemm(1.0, parts[0], parts[1], 0.5, parts[2]):
+        rt.submit(t)
+    rt.memory_coherent_async(mats[2], 32)
+    rt.sync()
+    evictions = sum(int(c.stats()["evictions"]) for c in rt.caches.values())
+    assert lint_trace(rt.trace, platform, evictions=evictions) == []
+
+
+def test_distribution_phase_lints_clean_under_topology_rules():
+    platform = make_dgx1(4)
+    rt = Runtime(platform)
+    dist = BlockCyclicDistribution(grid_p=2, grid_q=2)
+    rt.distribute_2d_block_cyclic_async(
+        Matrix.meta(128, 128, name="D"), 32, dist, upload=True
+    )
+    rt.sync()
+    assert lint_trace(rt.trace, platform, topology_aware=True) == []
+
+
+# ----------------------------------------------------- seeded violations
+
+
+def test_malformed_label_detected():
+    tr = TraceRecorder()
+    tr.record(TraceCategory.MEMCPY_HTOD, 0, 0.0, 1.0, "memcpy of something")
+    assert codes(lint_trace(tr)) == {"T001"}
+
+
+def test_self_transfer_detected():
+    tr = TraceRecorder()
+    h2d(tr, 1, 0.0, 1.0)
+    p2p(tr, 1, 1, 2.0, 3.0)
+    assert "T002" in codes(lint_trace(tr))
+
+
+def test_unknown_endpoint_detected():
+    tr = TraceRecorder()
+    h2d(tr, 5, 0.0, 1.0)  # no device 5 on a 2-GPU platform
+    assert codes(lint_trace(tr, make_dgx1(2))) == {"T003"}
+    assert lint_trace(tr) == []  # without a platform the rule is off
+
+
+def test_overlapping_duplicate_h2d_detected():
+    tr = TraceRecorder()
+    h2d(tr, 0, 0.0, 2.0)
+    h2d(tr, 0, 1.0, 3.0)  # same tile, same device, overlapping: not deduped
+    assert codes(lint_trace(tr)) == {"T004"}
+
+
+def test_sequential_refetch_is_not_a_duplicate():
+    tr = TraceRecorder()
+    h2d(tr, 0, 0.0, 1.0)
+    h2d(tr, 0, 2.0, 3.0)  # after the first landed (e.g. an eviction between)
+    assert lint_trace(tr) == []
+
+
+def test_interleaved_h2d_to_distinct_devices_is_legal():
+    tr = TraceRecorder()
+    h2d(tr, 0, 0.0, 2.0)
+    h2d(tr, 1, 1.0, 3.0)  # overlaps, but lands elsewhere
+    assert lint_trace(tr) == []
+
+
+def test_p2p_without_provenance_detected():
+    tr = TraceRecorder()
+    p2p(tr, 0, 1, 0.0, 1.0)  # nothing ever put the tile on device 0
+    assert codes(lint_trace(tr)) == {"T005"}
+    assert lint_trace(tr, allow_seeded=True) == []  # data-on-device scenario
+
+
+def test_p2p_after_delivery_or_kernel_is_legal():
+    tr = TraceRecorder()
+    h2d(tr, 0, 0.0, 1.0)
+    p2p(tr, 0, 1, 1.0, 2.0)  # delivered by the h2d
+    kernel(tr, 2, 0.0, 3.0)
+    p2p(tr, 2, 3, 4.0, 5.0, key="T(0:1,1)")  # produced by the kernel
+    assert lint_trace(tr) == []
+
+
+def ranked_pair(platform, dst):
+    """Two sources with strictly different link ranks toward ``dst``."""
+    sources = [d for d in platform.device_ids() if d != dst]
+    sources.sort(key=lambda s: platform.p2p_performance_rank(s, dst))
+    best, worst = sources[0], sources[-1]
+    if platform.p2p_performance_rank(best, dst) == platform.p2p_performance_rank(
+        worst, dst
+    ):
+        return None
+    return best, worst
+
+
+def test_rank_order_contradiction_detected():
+    platform = make_dgx1(8)
+    for dst in platform.device_ids():
+        pair = ranked_pair(platform, dst)
+        if pair is not None:
+            break
+    assert pair is not None, "DGX-1 must expose unequal link ranks"
+    best, worst = pair
+    tr = TraceRecorder()
+    h2d(tr, best, 0.0, 1.0)
+    h2d(tr, worst, 0.0, 1.0)
+    p2p(tr, worst, dst, 2.0, 3.0)  # best-ranked holder was ignored
+    assert "T006" in codes(lint_trace(tr, platform, topology_aware=True))
+    # The same trace sourcing from the best-ranked holder is clean.
+    tr2 = TraceRecorder()
+    h2d(tr2, best, 0.0, 1.0)
+    h2d(tr2, worst, 0.0, 1.0)
+    p2p(tr2, best, dst, 2.0, 3.0)
+    assert lint_trace(tr2, platform, topology_aware=True) == []
+
+
+def test_redundant_h2d_fanout_detected():
+    platform = make_dgx1(4)
+    tr = TraceRecorder()
+    h2d(tr, 0, 0.0, 1.0)
+    h2d(tr, 1, 2.0, 3.0)  # device 0 held the tile: should forward d2d
+    assert codes(lint_trace(tr, platform, topology_aware=True)) == {"T007"}
+    assert lint_trace(tr, platform) == []  # advisory rule: opt-in only
+
+
+def test_topology_rules_stay_quiet_after_evictions_or_kernels():
+    platform = make_dgx1(4)
+    tr = TraceRecorder()
+    h2d(tr, 0, 0.0, 1.0)
+    h2d(tr, 1, 2.0, 3.0)
+    # An eviction may have dropped device 0's replica: no certainty, no T007.
+    assert lint_trace(tr, platform, topology_aware=True, evictions=1) == []
+    # A completed kernel may have invalidated it just the same.
+    tr2 = TraceRecorder()
+    kernel(tr2, 2, 0.0, 1.5)
+    h2d(tr2, 0, 0.0, 1.0)
+    h2d(tr2, 1, 2.0, 3.0)
+    assert lint_trace(tr2, platform, topology_aware=True) == []
+
+
+def test_d2h_writeback_is_legal():
+    tr = TraceRecorder()
+    h2d(tr, 0, 0.0, 1.0)
+    kernel(tr, 0, 1.0, 2.0)
+    d2h(tr, 0, 2.0, 3.0)
+    assert lint_trace(tr) == []
