@@ -1,0 +1,311 @@
+"""Simulator performance benchmarks — the repo's wall-time trajectory.
+
+Unlike :mod:`repro.bench.experiments`, which regenerates the *paper's*
+numbers (virtual-time makespans), this harness measures the *simulator
+itself*: host wall-time and events/second for perf-mode GEMM / SYR2K / TRSM
+runs, plus a pure event-engine microbenchmark.  Results are written to
+``BENCH_runtime.json`` at the repository root so every PR leaves a recorded
+perf trajectory, and CI replays the ``--fast`` subset against the committed
+baseline to catch hot-path regressions.
+
+Two invariants make these numbers meaningful:
+
+* **perf mode** — matrices are metadata-only (``numeric=False``), so the
+  wall time is pure simulation overhead (event heap, transfer manager,
+  scheduler), not numpy kernels;
+* **determinism** — every optimization validated with this harness must keep
+  makespans, transfer stats and event counts bit-identical (enforced by
+  ``tests/test_determinism_golden.py``); the harness records those fields so
+  a drift is visible right in the JSON diff.
+
+Usage::
+
+    python -m repro.bench.perfbench                 # full suite
+    python -m repro.bench.perfbench --fast          # CI smoke subset
+    python -m repro.bench.perfbench --profile       # cProfile the macro GEMM
+    python -m repro.bench.perfbench --check-against BENCH_runtime.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform as host_platform
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import run_point
+from repro.sim.engine import Simulator
+from repro.topology.dgx1 import make_dgx1
+
+SCHEMA = "repro.bench.perfbench/v1"
+
+#: (name, routine, n, nb) macro points; the first one is the headline number
+#: the ISSUE/ROADMAP trajectory tracks (perf-mode GEMM N=32768).
+MACRO_POINTS = (
+    ("macro-gemm-n32768", "gemm", 32768, 2048),
+    ("macro-syr2k-n16384", "syr2k", 16384, 2048),
+    ("macro-trsm-n16384", "trsm", 16384, 1024),
+)
+
+FAST_MACRO_POINTS = (
+    ("macro-gemm-n8192", "gemm", 8192, 512),
+    ("macro-syr2k-n8192", "syr2k", 8192, 1024),
+    ("macro-trsm-n8192", "trsm", 8192, 512),
+)
+
+
+@dataclasses.dataclass
+class BenchResult:
+    """One benchmark measurement (wall time is host time, makespan virtual)."""
+
+    name: str
+    kind: str  # "macro" | "micro"
+    wall_s: float
+    events: int
+    events_per_s: float
+    routine: str | None = None
+    n: int | None = None
+    nb: int | None = None
+    makespan_s: float | None = None
+    tasks: int | None = None
+    transfers: dict[str, int] | None = None
+
+    def to_json(self) -> dict:
+        return {k: v for k, v in dataclasses.asdict(self).items() if v is not None}
+
+
+# ------------------------------------------------------------------- micros
+
+
+def bench_engine_events(num_events: int = 200_000) -> BenchResult:
+    """Pure event-heap throughput: schedule + fire a self-respawning chain.
+
+    Exercises exactly the ``schedule``/``step`` path every simulated DMA and
+    kernel goes through, with a trivial callback — the heap ordering and
+    event allocation costs dominate, which is what the engine optimizations
+    target.
+    """
+    sim = Simulator()
+    remaining = num_events
+
+    def tick() -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining > 0:
+            sim.schedule_after(1.0, tick)
+
+    # Seed a small batch so the heap has realistic depth (not a single chain).
+    seeds = 64
+    for i in range(seeds):
+        sim.schedule(float(i), tick)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    fired = sim.events_fired
+    return BenchResult(
+        name=f"micro-engine-{num_events // 1000}k-events",
+        kind="micro",
+        wall_s=wall,
+        events=fired,
+        events_per_s=fired / wall if wall > 0 else 0.0,
+    )
+
+
+# ------------------------------------------------------------------- macros
+
+
+def bench_macro(name: str, routine: str, n: int, nb: int) -> BenchResult:
+    """One perf-mode routine invocation on the simulated 8-GPU DGX-1."""
+    plat = make_dgx1(8)
+    t0 = time.perf_counter()
+    res = run_point(routine=routine, library="xkblas", n=n, nb=nb,
+                    platform=plat, keep_runtime=True)
+    wall = time.perf_counter() - t0
+    rt = res.runtime
+    assert rt is not None
+    events = rt.sim.events_fired
+    return BenchResult(
+        name=name,
+        kind="macro",
+        routine=routine,
+        n=n,
+        nb=nb,
+        wall_s=wall,
+        makespan_s=res.seconds,
+        events=events,
+        events_per_s=events / wall if wall > 0 else 0.0,
+        tasks=rt.executor.completed_tasks,
+        transfers=rt.transfer.stats(),
+    )
+
+
+# ------------------------------------------------------------------ suite
+
+
+def run_suite(fast: bool = False, repeat: int = 1) -> list[BenchResult]:
+    """Run the full suite; with ``repeat`` > 1 the best wall time is kept.
+
+    Repeats reduce host noise only — virtual-time fields are deterministic
+    and identical across repeats by construction.
+    """
+    # The full suite includes the fast points so a committed full baseline
+    # always has the names a CI ``--fast`` run checks against.
+    points = FAST_MACRO_POINTS if fast else FAST_MACRO_POINTS + MACRO_POINTS
+    results: list[BenchResult] = []
+    micro_sizes = (50_000,) if fast else (50_000, 200_000)
+    micros = [lambda n=n: bench_engine_events(n) for n in micro_sizes]
+    macros = [
+        (lambda name=name, routine=routine, n=n, nb=nb:
+         bench_macro(name, routine, n, nb))
+        for name, routine, n, nb in points
+    ]
+    for thunk in micros + macros:
+        best: BenchResult | None = None
+        for _ in range(max(1, repeat)):
+            res = thunk()
+            if best is None or res.wall_s < best.wall_s:
+                best = res
+        assert best is not None
+        results.append(best)
+    return results
+
+
+def suite_to_json(results: list[BenchResult], fast: bool) -> dict:
+    return {
+        "schema": SCHEMA,
+        "fast": fast,
+        "host": {
+            "python": sys.version.split()[0],
+            "machine": host_platform.machine(),
+        },
+        "results": [r.to_json() for r in results],
+    }
+
+
+def render(results: list[BenchResult]) -> str:
+    lines = [
+        f"{'benchmark':28}  {'wall (s)':>9}  {'events':>8}  {'events/s':>10}  "
+        f"{'makespan (s)':>12}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for r in results:
+        mk = f"{r.makespan_s:.6f}" if r.makespan_s is not None else "-"
+        lines.append(
+            f"{r.name:28}  {r.wall_s:9.3f}  {r.events:8d}  "
+            f"{r.events_per_s:10.0f}  {mk:>12}"
+        )
+    return "\n".join(lines)
+
+
+# -------------------------------------------------------------- comparison
+
+
+def compare_to_baseline(
+    results: list[BenchResult], baseline: dict, tolerance: float
+) -> list[str]:
+    """Regression check: events/s must not drop more than ``tolerance``.
+
+    Events/second is used rather than raw wall time because the baseline may
+    have been recorded on different hardware; it is still machine-dependent,
+    so the CI gate uses a generous tolerance (default 30%).  Virtual-time
+    fields (makespan, transfers) must match *exactly* when present — those
+    are machine-independent, and a drift means determinism was broken.
+    """
+    failures: list[str] = []
+    base_by_name = {r["name"]: r for r in baseline.get("results", [])}
+    for res in results:
+        base = base_by_name.get(res.name)
+        if base is None:
+            continue
+        floor = base["events_per_s"] * (1.0 - tolerance)
+        if res.events_per_s < floor:
+            failures.append(
+                f"{res.name}: events/s regressed {base['events_per_s']:.0f} "
+                f"-> {res.events_per_s:.0f} (>{tolerance:.0%} drop)"
+            )
+        if res.makespan_s is not None and "makespan_s" in base:
+            if res.makespan_s != base["makespan_s"]:
+                failures.append(
+                    f"{res.name}: makespan drifted {base['makespan_s']!r} -> "
+                    f"{res.makespan_s!r} (determinism broken)"
+                )
+        if res.transfers is not None and base.get("transfers") is not None:
+            if res.transfers != base["transfers"]:
+                failures.append(
+                    f"{res.name}: transfer stats drifted {base['transfers']} "
+                    f"-> {res.transfers}"
+                )
+    return failures
+
+
+# -------------------------------------------------------------- profiling
+
+
+def profile_macro(fast: bool = False) -> str:
+    """cProfile the headline macro point; returns the top-30 report."""
+    import cProfile
+    import io
+    import pstats
+
+    name, routine, n, nb = (FAST_MACRO_POINTS if fast else MACRO_POINTS)[0]
+    prof = cProfile.Profile()
+    prof.enable()
+    bench_macro(name, routine, n, nb)
+    prof.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(prof, stream=out).sort_stats("tottime")
+    stats.print_stats(30)
+    return out.getvalue()
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perfbench",
+        description="Measure simulator wall-time performance (perf trajectory).",
+    )
+    parser.add_argument("--fast", action="store_true",
+                        help="CI smoke subset (small sizes)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="repetitions per benchmark; best wall time kept")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write results as JSON")
+    parser.add_argument("--check-against", metavar="PATH",
+                        help="fail on regression vs a recorded baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed events/s drop vs baseline (default 0.30)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the headline macro point and exit")
+    args = parser.parse_args(argv)
+
+    if args.profile:
+        print(profile_macro(fast=args.fast))
+        return 0
+
+    results = run_suite(fast=args.fast, repeat=args.repeat)
+    print(render(results))
+
+    if args.output:
+        payload = suite_to_json(results, fast=args.fast)
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    if args.check_against:
+        baseline = json.loads(Path(args.check_against).read_text())
+        failures = compare_to_baseline(results, baseline, args.tolerance)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"no regression vs {args.check_against} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

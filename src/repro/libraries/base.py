@@ -296,8 +296,7 @@ class Session:
         rt = self.runtime
         for dev, cache in rt.caches.items():
             for key in cache.resident_keys():
-                entry = cache._resident[key]  # noqa: SLF001 - library teardown
-                if entry.pins:
+                if cache.pin_count(key):
                     continue
                 cache.remove(key)
                 rt.datastore.drop_device_tile(key, dev)

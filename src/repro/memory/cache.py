@@ -117,6 +117,16 @@ class DeviceCache:
             raise CoherenceError(f"{key}: unbalanced unpin on device {self.device}")
         entry.pins -= 1
 
+    def pin_count(self, key: TileKey) -> int:
+        """Number of outstanding pins on ``key`` (0 when not resident).
+
+        The public form of the pin bookkeeping: the runtime consults this to
+        decide whether a replica can be dropped without reaching into the
+        cache's internal residency records.
+        """
+        entry = self._resident.get(key)
+        return entry.pins if entry is not None else 0
+
     def mark_dirty(self, key: TileKey, dirty: bool = True) -> None:
         self._resident[key].dirty = dirty
 

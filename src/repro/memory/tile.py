@@ -18,13 +18,41 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.memory.matrix import Matrix
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
+@dataclasses.dataclass(frozen=True, slots=True, eq=False)
 class TileKey:
-    """Identity of a tile: owning matrix and block coordinates."""
+    """Identity of a tile: owning matrix and block coordinates.
+
+    Equality and hashing are hand-written rather than dataclass-generated:
+    tile keys index every directory, cache and datastore map, so their hash
+    is among the most-called functions of a large run.  The hash is computed
+    once at construction (plain integer arithmetic — deterministic across
+    processes, per lint rule L002) instead of building a ``(matrix_id, i, j)``
+    tuple on every lookup.
+    """
 
     matrix_id: int
     i: int
     j: int
+    _hash: int = dataclasses.field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", self.matrix_id * 1_000_003 + self.i * 10_007 + self.j
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, TileKey):
+            return NotImplemented
+        return (
+            self.matrix_id == other.matrix_id
+            and self.i == other.i
+            and self.j == other.j
+        )
 
     def __repr__(self) -> str:
         return f"T({self.matrix_id}:{self.i},{self.j})"

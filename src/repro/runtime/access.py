@@ -14,7 +14,13 @@ from repro.memory.tile import Tile
 
 
 class AccessMode(enum.Flag):
-    """How a task accesses a tile."""
+    """How a task accesses a tile.
+
+    ``reads``/``writes`` use identity checks over the three valid members
+    rather than flag arithmetic: ``enum.Flag.__and__`` resolves a member
+    lookup per call, and the dependency builder plus the executor consult
+    these predicates for every access of every task.
+    """
 
     READ = enum.auto()
     WRITE = enum.auto()
@@ -22,11 +28,11 @@ class AccessMode(enum.Flag):
 
     @property
     def reads(self) -> bool:
-        return bool(self & AccessMode.READ)
+        return self is not AccessMode.WRITE
 
     @property
     def writes(self) -> bool:
-        return bool(self & AccessMode.WRITE)
+        return self is not AccessMode.READ
 
 
 # Short aliases used by the tiled algorithms, mirroring task-runtime idiom.
@@ -37,18 +43,21 @@ RW = AccessMode.READWRITE
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class Access:
-    """One (tile, mode) declaration of a task."""
+    """One (tile, mode) declaration of a task.
+
+    ``reads``/``writes`` are materialized as plain attributes at construction
+    (rather than properties chaining into enum arithmetic) — they are read on
+    every dependency derivation, launch and completion.
+    """
 
     tile: Tile
     mode: AccessMode
+    reads: bool = dataclasses.field(init=False, repr=False)
+    writes: bool = dataclasses.field(init=False, repr=False)
 
-    @property
-    def reads(self) -> bool:
-        return self.mode.reads
-
-    @property
-    def writes(self) -> bool:
-        return self.mode.writes
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "reads", self.mode.reads)
+        object.__setattr__(self, "writes", self.mode.writes)
 
     def __repr__(self) -> str:
         tag = {AccessMode.READ: "R", AccessMode.WRITE: "W", AccessMode.READWRITE: "RW"}[

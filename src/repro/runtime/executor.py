@@ -42,6 +42,9 @@ class _Worker:
     device: int
     streams: list[Stream]
     window: int
+    #: inflight count below which a busy worker may still steal
+    #: (max(2, window // 3), precomputed — consulted on every wake round).
+    steal_threshold: int = 2
     inflight: int = 0
 
 
@@ -82,6 +85,7 @@ class Executor:
                 device=dev,
                 streams=[Stream(sim, name=f"gpu{dev}-compute")],
                 window=window,
+                steal_threshold=max(2, window // 3),
             )
             for dev in platform.device_ids()
         ]
@@ -107,14 +111,14 @@ class Executor:
         if is_flush:
             self._flush_tasks.add(task.uid)
         self._submit_clock = max(self._submit_clock, self.sim.now) + self.task_overhead
-
-        def _submitted(task=task) -> None:
-            self._submitted.add(task.uid)
-            if task.state == "ready":
-                self._enqueue(task)
-
-        self.sim.schedule(self._submit_clock, _submitted)
+        self.sim.schedule(self._submit_clock, self._mark_submitted, task)
         return task
+
+    def _mark_submitted(self, task: Task) -> None:
+        """Submission-instant event: the host thread finished creating the task."""
+        self._submitted.add(task.uid)
+        if task.state == "ready":
+            self._enqueue(task)
 
     def _enqueue(self, task: Task) -> None:
         """Task is schedulable: hand to the scheduler (or run a host flush)."""
@@ -133,12 +137,11 @@ class Executor:
         task.device = None
         task.start_time = self.sim.now
         task.state = "running"
+        self.sim.schedule(end, self._complete_flush, task, end)
 
-        def _done(task=task, end=end) -> None:
-            task.end_time = end
-            self._finish(task)
-
-        self.sim.schedule(end, _done)
+    def _complete_flush(self, task: Task, end: float) -> None:
+        task.end_time = end
+        self._finish(task)
 
     # -------------------------------------------------------------- workers
 
@@ -151,13 +154,16 @@ class Executor:
         # tail of the worker array.
         self._wake_origin = (self._wake_origin + 1) % len(self.workers)
         order = self.workers[self._wake_origin:] + self.workers[: self._wake_origin]
+        scheduler = self.scheduler
         progress = True
         while progress:
             progress = False
+            if scheduler.empty():
+                break  # nothing to hand out; skip the per-worker pop round
             for worker in order:
                 if worker.inflight >= worker.window:
                     continue
-                task = self.scheduler.pop(
+                task = scheduler.pop(
                     worker.device, self.ctx, idle=self._compute_idle(worker)
                 )
                 if task is None:
@@ -175,16 +181,7 @@ class Executor:
         """
         if worker.streams[0].busy_until <= self.sim.now:
             return True
-        return worker.inflight < max(2, worker.window // 3)
-
-    def _wake(self, worker: _Worker) -> None:
-        while worker.inflight < worker.window:
-            task = self.scheduler.pop(
-                worker.device, self.ctx, idle=self._compute_idle(worker)
-            )
-            if task is None:
-                return
-            self._launch(task, worker)
+        return worker.inflight < worker.steal_threshold
 
     def _launch(self, task: Task, worker: _Worker) -> None:
         dev = worker.device
@@ -216,7 +213,12 @@ class Executor:
             task.flops, task.dim, wordsize=task.output_tile.wordsize,
             regularity=task.regularity,
         )
-        stream = min(worker.streams, key=lambda s: s.busy_until)
+        streams = worker.streams
+        stream = (
+            streams[0]
+            if len(streams) == 1
+            else min(streams, key=lambda s: s.busy_until)
+        )
         if self.overlap:
             start, end = stream.reserve(duration, earliest=inputs_ready)
         else:
@@ -227,24 +229,24 @@ class Executor:
         task.start_time = start
         task.end_time = end
         self.trace.record(TraceCategory.KERNEL, dev, start, end, task.name)
+        self.sim.schedule(end, self._complete_task, task, worker, tuple(pinned))
 
-        def _complete(task=task, worker=worker, pinned=tuple(pinned)) -> None:
-            self._execute_numeric(task)
+    def _complete_task(self, task: Task, worker: _Worker, pinned: tuple) -> None:
+        """Kernel-completion event: writes registered, pins dropped, wake-up."""
+        self._execute_numeric(task)
+        for access in task.accesses:
+            if access.writes:
+                self.transfer.register_write(access.tile, worker.device, self.sim.now)
+        cache = self.transfer.caches[worker.device]
+        for key in pinned:
+            cache.unpin(key)
+        if not self.retain_inputs:
+            self._drop_clean_inputs(task, worker.device)
+        if self.transfer.sanitizer is not None:
             for access in task.accesses:
-                if access.writes:
-                    self.transfer.register_write(access.tile, worker.device, self.sim.now)
-            cache = self.transfer.caches[worker.device]
-            for key in pinned:
-                cache.unpin(key)
-            if not self.retain_inputs:
-                self._drop_clean_inputs(task, worker.device)
-            if self.transfer.sanitizer is not None:
-                for access in task.accesses:
-                    self.transfer.sanitize(access.tile.key)
-            worker.inflight -= 1
-            self._finish(task)
-
-        self.sim.schedule(end, _complete)
+                self.transfer.sanitize(access.tile.key)
+        worker.inflight -= 1
+        self._finish(task)
 
     def _drop_clean_inputs(self, task: Task, device: int) -> None:
         """Batched-workspace model: free read-only staging tiles after use."""
@@ -259,7 +261,7 @@ class Executor:
             key = access.tile.key
             if directory.state(key, device) is not ReplicaState.SHARED:
                 continue
-            if key not in cache or cache._resident[key].pins:  # noqa: SLF001
+            if key not in cache or cache.pin_count(key):
                 continue
             try:
                 directory.evict(key, device)

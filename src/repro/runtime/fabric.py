@@ -126,9 +126,7 @@ class Fabric:
         end = start + duration
         # Occupy both pipes for the whole interval.
         for chan in (out_chan, in_chan) if out_chan is not in_chan else (out_chan,):
-            chan._busy_until = end  # noqa: SLF001 - fabric owns its channels
-            chan.bytes_moved += nbytes
-            chan.transfer_count += 1
+            chan.occupy(start, end, nbytes)
         return start, end
 
     def reserve(

@@ -92,5 +92,15 @@ class Scheduler(abc.ABC):
     def pending(self) -> int:
         """Number of tasks queued inside the scheduler."""
 
+    def empty(self) -> bool:
+        """True when no task is queued anywhere.
+
+        Consulted by the executor before each wake round so an empty
+        scheduler costs one cheap check instead of a pop attempt (with its
+        idleness computation) per worker.  Subclasses with several internal
+        queues should override with a direct truth test.
+        """
+        return self.pending() == 0
+
     def on_complete(self, task: Task, ctx: SchedulerContext) -> None:
         """Completion hook (optional; e.g. performance-model updates)."""

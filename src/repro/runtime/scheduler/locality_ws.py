@@ -143,5 +143,8 @@ class LocalityWorkStealing(Scheduler):
     def pending(self) -> int:
         return sum(len(d) for d in self._deques) + len(self._host_queue)
 
+    def empty(self) -> bool:
+        return not self._host_queue and not any(self._deques)
+
     def queue_sizes(self) -> list[int]:
         return [len(d) for d in self._deques]

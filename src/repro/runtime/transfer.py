@@ -81,6 +81,26 @@ class TransferManager:
         self.pinning_bandwidth = pinning_bandwidth
         self._pinned_matrices: dict[int, float] = {}  # matrix id -> ready time
         self._pin_clock = 0.0  # page-locking is serial host work
+        # Per-destination link-rank and bandwidth tables.  The topology is
+        # immutable for the lifetime of the manager, so the (rank, src) sort
+        # key behind Platform.peers_by_rank is precomputed once per (dst, src)
+        # pair: source selection then reduces to a min() over a dict lookup
+        # instead of re-sorting the candidate list on every transfer.
+        devices = list(platform.device_ids())
+        self._rank_key: dict[int, dict[int, tuple[int, int]]] = {
+            dst: {
+                src: (platform.p2p_performance_rank(src, dst), src)
+                for src in devices
+                if src != dst
+            }
+            for dst in devices
+        }
+        self._link_bandwidth: dict[tuple[int, int], float] = {
+            (src, dst): platform.link(src, dst).bandwidth
+            for dst in devices
+            for src in devices
+            if src != dst
+        }
         # statistics
         self.h2d_transfers = 0
         self.d2h_transfers = 0
@@ -140,39 +160,46 @@ class TransferManager:
         if source == HOST:
             self.h2d_transfers += 1
             self.trace.record(
-                TraceCategory.MEMCPY_HTOD, dst, start, end, f"h2d {key}", tile.nbytes
+                TraceCategory.MEMCPY_HTOD, dst, start, end,
+                lambda: f"h2d {key}", tile.nbytes,
             )
         else:
             self.p2p_transfers += 1
             self.trace.record(
                 TraceCategory.MEMCPY_PTOP, dst, start, end,
-                f"p2p {source}->{dst} {key}", tile.nbytes,
+                lambda: f"p2p {source}->{dst} {key}", tile.nbytes,
             )
 
-        def _on_complete(source=source, dst=dst, tile=tile, src_pinned=src_pinned) -> None:
-            landed = self.directory.complete_transfer(tile.key, dst)
-            cache.unpin(tile.key)
-            if src_pinned and tile.key in self.caches[source]:
-                self.caches[source].unpin(tile.key)
-            if landed:
-                self.datastore.copy_tile(tile, source, dst)
-                self._refresh_shared_flags(tile.key)
-            else:
-                # Invalidated mid-flight by a writer: drop the stale bytes.
-                cache.remove(tile.key)
-                self.datastore.drop_device_tile(tile.key, dst)
-            self.sanitize(tile.key)
-
-        self.sim.schedule(end, _on_complete)
+        self.sim.schedule(end, self._complete_d2d, tile, source, dst, src_pinned)
         self.sanitize(key)
         return end
+
+    def _complete_d2d(self, tile: Tile, source: int, dst: int, src_pinned: bool) -> None:
+        """Completion event of a transfer landed on device ``dst``."""
+        key = tile.key
+        cache = self.caches[dst]
+        landed = self.directory.complete_transfer(key, dst)
+        cache.unpin(key)
+        if src_pinned and key in self.caches[source]:
+            self.caches[source].unpin(key)
+        if landed:
+            self.datastore.copy_tile(tile, source, dst)
+            self._refresh_shared_flags(key)
+        else:
+            # Invalidated mid-flight by a writer: drop the stale bytes.
+            cache.remove(key)
+            self.datastore.drop_device_tile(key, dst)
+        self.sanitize(key)
 
     def _select_source(self, key: TileKey, dst: int, now: float) -> tuple[int, float]:
         """Pick ``(source_location, source_ready_time)`` per the active policy."""
         candidates = [d for d in self.directory.valid_devices(key) if d != dst]
         if candidates and self.policy.uses_device_sources:
             if self.policy.topology_aware:
-                best = self.platform.peers_by_rank(dst, candidates)[0]
+                # Equivalent to Platform.peers_by_rank(dst, candidates)[0]
+                # (min over the same (rank, device-id) key), without
+                # re-sorting per transfer.
+                best = min(candidates, key=self._rank_key[dst].__getitem__)
             else:
                 # "No ranking" = whichever replica the runtime happens to find
                 # first; modelled as a deterministic pseudo-random pick so no
@@ -229,7 +256,8 @@ class TransferManager:
         self._pin_clock = done
         self._pinned_matrices[matrix.id] = done
         self.trace.record(
-            TraceCategory.HOST, -1, start, done, f"pin {matrix.name}", matrix.nbytes
+            TraceCategory.HOST, -1, start, done,
+            lambda: f"pin {matrix.name}", matrix.nbytes,
         )
         return done
 
@@ -244,10 +272,10 @@ class TransferManager:
         candidates = [d for d in self.directory.valid_devices(key) if d != dst]
         if candidates and self.policy.uses_device_sources:
             if self.policy.topology_aware:
-                src = self.platform.peers_by_rank(dst, candidates)[0]
+                src = min(candidates, key=self._rank_key[dst].__getitem__)
             else:
                 src = candidates[_mix(key, dst) % len(candidates)]
-            return src, self.platform.link(src, dst).bandwidth
+            return src, self._link_bandwidth[(src, dst)]
         return HOST, self.platform.host_bandwidth
 
     # ----------------------------------------------------------- host flush
@@ -281,27 +309,30 @@ class TransferManager:
             self.caches[source].pin(key)
         self.d2h_transfers += 1
         self.trace.record(
-            TraceCategory.MEMCPY_DTOH, source, start, end, f"d2h {key}", tile.nbytes
+            TraceCategory.MEMCPY_DTOH, source, start, end,
+            lambda: f"d2h {key}", tile.nbytes,
         )
 
-        def _on_complete(source=source, tile=tile, src_pinned=src_pinned) -> None:
-            landed = self.directory.complete_transfer(tile.key, HOST)
-            if src_pinned and tile.key in self.caches[source]:
-                self.caches[source].unpin(tile.key)
-            if landed:
-                self.datastore.copy_tile(tile, source, HOST)
-                if self.directory.state(tile.key, source) is not None:
-                    try:
-                        self.directory.downgrade(tile.key, source)
-                    except CoherenceError:
-                        pass  # already SHARED
-                    if tile.key in self.caches[source]:
-                        self.caches[source].mark_dirty(tile.key, False)
-            self.sanitize(tile.key)
-
-        self.sim.schedule(end, _on_complete)
+        self.sim.schedule(end, self._complete_d2h, tile, source, src_pinned)
         self.sanitize(key)
         return end
+
+    def _complete_d2h(self, tile: Tile, source: int, src_pinned: bool) -> None:
+        """Completion event of a write-back landed on the host."""
+        key = tile.key
+        landed = self.directory.complete_transfer(key, HOST)
+        if src_pinned and key in self.caches[source]:
+            self.caches[source].unpin(key)
+        if landed:
+            self.datastore.copy_tile(tile, source, HOST)
+            if self.directory.state(key, source) is not None:
+                try:
+                    self.directory.downgrade(key, source)
+                except CoherenceError:
+                    pass  # already SHARED
+                if key in self.caches[source]:
+                    self.caches[source].mark_dirty(key, False)
+        self.sanitize(key)
 
     # -------------------------------------------------------------- writes
 
@@ -317,7 +348,7 @@ class TransferManager:
                 continue
             if other in self.caches and key in self.caches[other]:
                 ccache = self.caches[other]
-                if ccache._resident[key].pins == 0:  # noqa: SLF001
+                if ccache.pin_count(key) == 0:
                     ccache.remove(key)
                     self.datastore.drop_device_tile(key, other)
                 else:
@@ -373,11 +404,7 @@ class TransferManager:
                 ready = max(ready, end)
                 self.directory.discard(vkey, device)
                 self._refresh_shared_flags(vkey)
-
-                def _drop(vkey=vkey, device=device) -> None:
-                    self.datastore.drop_device_tile(vkey, device)
-
-                self.sim.schedule(end, _drop)
+                self.sim.schedule(end, self.datastore.drop_device_tile, vkey, device)
             else:
                 cache.remove(vkey)
                 self.directory.evict(vkey, device)

@@ -76,6 +76,26 @@ class Channel:
         self.transfer_count += 1
         return start, end
 
+    def occupy(self, start: float, end: float, nbytes: int) -> None:
+        """Account an externally-timed transfer occupying ``[start, end)``.
+
+        Used when a route spans several channels and one reservation sets the
+        timing for all of them (e.g. a PCIe peer transfer riding both host
+        pipes): the fabric computes one interval and occupies each channel
+        for it.  The channel's FIFO backlog is pushed to at least ``end`` and
+        the traffic counters are updated, exactly as :meth:`reserve` would.
+        """
+        if end < start:
+            raise SimulationError(
+                f"channel {self.name!r}: occupation ends before it starts "
+                f"[{start}, {end})"
+            )
+        if nbytes < 0:
+            raise SimulationError(f"channel {self.name!r}: negative size {nbytes}")
+        self._busy_until = max(self._busy_until, end)
+        self.bytes_moved += nbytes
+        self.transfer_count += 1
+
     # ------------------------------------------------------------- inspection
 
     @property

@@ -1,9 +1,13 @@
 """Events for the discrete-event engine.
 
-An :class:`Event` is a callback scheduled at a virtual time.  Events compare by
-``(time, seq)`` so that simultaneous events fire in submission order, which
-keeps every simulation fully deterministic (no reliance on heap tie-breaking of
-unorderable payloads).
+An :class:`Event` is a callback scheduled at a virtual time.  The simulator's
+heap orders events by ``(time, seq)`` so that simultaneous events fire in
+submission order, which keeps every simulation fully deterministic (no
+reliance on heap tie-breaking of unorderable payloads).  The ordering key
+lives in the heap entries themselves (plain tuples — see
+:class:`~repro.sim.engine.Simulator`), not in rich comparisons on the event
+object: tuple comparison is what ``heapq`` is optimized for, and the hot path
+fires millions of events in paper-scale sweeps.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ import dataclasses
 from typing import Any, Callable
 
 
-@dataclasses.dataclass(order=True, slots=True)
+@dataclasses.dataclass(slots=True)
 class Event:
     """A scheduled callback.
 
@@ -24,16 +28,20 @@ class Event:
         Monotonic sequence number assigned by the simulator; ties on ``time``
         are broken by submission order.
     callback:
-        Zero-argument callable invoked when the event fires.  Excluded from
-        ordering comparisons.
+        Callable invoked when the event fires, with ``args`` unpacked.
+    args:
+        Positional arguments passed to ``callback``.  Scheduling a bound
+        method plus arguments avoids allocating a fresh closure per event —
+        the dominant allocation churn of transfer/kernel completion events.
     cancelled:
         Lazily-cancelled events stay in the heap but are skipped when popped.
     """
 
     time: float
     seq: int
-    callback: Callable[[], Any] = dataclasses.field(compare=False)
-    cancelled: bool = dataclasses.field(default=False, compare=False)
+    callback: Callable[..., Any]
+    args: tuple = ()
+    cancelled: bool = False
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it reaches the top."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 from collections import defaultdict
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 
 class TraceCategory(enum.Enum):
@@ -65,14 +65,22 @@ class TraceRecorder:
         device: int,
         start: float,
         end: float,
-        label: str = "",
+        label: str | Callable[[], str] = "",
         nbytes: int = 0,
     ) -> None:
-        """Append one interval (no-op when tracing is disabled)."""
+        """Append one interval (no-op when tracing is disabled).
+
+        ``label`` may be a zero-argument callable producing the label string;
+        it is only invoked when tracing is enabled.  Hot-path callers pass a
+        lambda instead of a pre-formatted f-string so that trace-disabled
+        perf sweeps never pay the string formatting.
+        """
         if not self.enabled:
             return
         if end < start:
             raise ValueError(f"interval ends before it starts: [{start}, {end})")
+        if callable(label):
+            label = label()
         self._intervals.append(Interval(category, device, start, end, label, nbytes))
 
     def clear(self) -> None:

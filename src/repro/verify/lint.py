@@ -23,6 +23,13 @@ them and run over ``src/`` from the CLI (``python -m repro.verify``) and CI:
   ``runtime/executor.py`` and ``runtime/dataflow.py`` implement the task
   lifecycle; any other module assigning ``.state`` bypasses the readiness
   protocol the race detector certifies.
+* **L005 — unused private methods** (``sim/``, ``runtime/``, ``memory/``):
+  a ``_method`` never referenced anywhere in the package is dead code (the
+  executor's ``_wake`` rotted this way once its caller was refactored away).
+  This is a *tree-wide* rule — it only runs from :func:`lint_path`, because
+  subclass hooks are routinely defined in one module and invoked from
+  another (``Scheduler`` subclasses override methods ``base.py`` calls), so
+  per-file analysis would drown in false positives.
 
 Rules are path-scoped relative to the package root, so tests can lint
 synthetic trees: a file ``<root>/sim/x.py`` is treated as part of ``sim/``.
@@ -61,6 +68,7 @@ _WALL_CLOCK_NAMES = {"time", "monotonic", "perf_counter", "process_time"}
 _VIRTUAL_TIME_SCOPES = ("sim", "runtime")
 _HASH_SCOPES = ("sim", "runtime", "memory")
 _SLOTS_SCOPES = ("sim", "runtime", "memory")
+_UNUSED_SCOPES = ("sim", "runtime", "memory")
 _STATE_OWNERS = {("runtime", "executor.py"), ("runtime", "dataflow.py"),
                  ("runtime", "task.py")}
 
@@ -189,10 +197,84 @@ def lint_source(source: str, rel_path: Path) -> list[Finding]:
     return findings
 
 
+def _private_method_defs(
+    tree: ast.Module, rel_path: Path
+) -> list[tuple[str, str, str]]:
+    """``(name, class, where)`` for every non-dunder ``_method`` definition."""
+    defs: list[tuple[str, str, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            name = item.name
+            if not name.startswith("_") or name.startswith("__"):
+                continue
+            defs.append((name, node.name, f"{rel_path}:{item.lineno}"))
+    return defs
+
+
+def _attribute_uses(tree: ast.Module) -> set[str]:
+    """Every attribute name referenced in the module (any context).
+
+    ``self._foo()``, ``other._foo``, and ``cls._foo = x`` all count; a
+    ``def _foo`` does not.  String constants are also scanned so dynamic
+    dispatch via ``getattr(obj, "_foo")`` keeps a method alive.
+    """
+    uses: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            uses.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value.startswith("_") and node.value.isidentifier():
+                uses.add(node.value)
+    return uses
+
+
+def _lint_unused_private_methods(
+    trees: list[tuple[Path, ast.Module]]
+) -> list[Finding]:
+    """L005 over the whole package tree (two-phase: collect, then flag).
+
+    Definitions are collected only from :data:`_UNUSED_SCOPES`; *usages* are
+    collected from every module, so a hook defined in ``runtime/`` but
+    invoked from ``libraries/`` is not a false positive.
+    """
+    defs: list[tuple[str, str, str]] = []
+    uses: set[str] = set()
+    for rel, tree in trees:
+        uses |= _attribute_uses(tree)
+        if _in_scope(rel.parts, _UNUSED_SCOPES):
+            defs += _private_method_defs(tree, rel)
+    return [
+        Finding(
+            _PASS,
+            "L005",
+            where,
+            f"private method {cls}.{name} is never referenced anywhere in "
+            "the package (dead code); delete it or call it",
+        )
+        for name, cls, where in defs
+        if name not in uses
+    ]
+
+
 def lint_path(root: Path) -> list[Finding]:
-    """Lint every ``*.py`` under ``root`` (the package directory)."""
+    """Lint every ``*.py`` under ``root`` (the package directory).
+
+    Per-file rules (L000–L004) run module by module; the tree-wide L005
+    pass runs once over all parsed modules at the end.
+    """
     findings: list[Finding] = []
+    trees: list[tuple[Path, ast.Module]] = []
     for path in sorted(root.rglob("*.py")):
         rel = path.relative_to(root)
-        findings += lint_source(path.read_text(encoding="utf-8"), rel)
+        source = path.read_text(encoding="utf-8")
+        findings += lint_source(source, rel)
+        try:
+            trees.append((rel, ast.parse(source, filename=str(rel))))
+        except SyntaxError:
+            continue  # already reported as L000 by lint_source
+    findings += _lint_unused_private_methods(trees)
     return findings

@@ -1,0 +1,68 @@
+"""Golden-makespan determinism tests.
+
+Two guarantees, both load-bearing for the performance work:
+
+* **run-to-run determinism** — executing the same perf-mode routine twice on
+  fresh simulators yields bit-identical makespans, transfer stats and event
+  counts (no hidden host state, no salted hashing, no heap-order ambiguity);
+* **bit-identity against the recorded goldens** — the values in
+  ``tests/data/golden_makespans.json`` were recorded on the *pre-optimization*
+  hot path (PR 2); every optimization since must reproduce them exactly.
+  A mismatch here means an "optimization" changed simulated behaviour, which
+  is a correctness bug no wall-time win can justify.
+
+When a *deliberate* model change shifts these numbers, re-record the golden
+file and say so in the commit — never loosen the comparison.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import run_point
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_makespans.json"
+
+
+def _observe(routine: str, n: int, nb: int) -> dict:
+    res = run_point(
+        library="xkblas", routine=routine, n=n, nb=nb, keep_runtime=True
+    )
+    rt = res.runtime
+    assert rt is not None
+    return {
+        "makespan": res.seconds,
+        "makespan_hex": res.seconds.hex(),
+        "events_fired": rt.sim.events_fired,
+        "transfers": rt.transfer.stats(),
+        "tasks": rt.executor.completed_tasks,
+    }
+
+
+def _golden_points() -> dict:
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))["points"]
+
+
+@pytest.mark.parametrize("routine", ["gemm", "trsm"])
+def test_two_fresh_runs_are_bit_identical(routine):
+    first = _observe(routine, n=8192, nb=1024)
+    second = _observe(routine, n=8192, nb=1024)
+    assert first == second
+
+
+@pytest.mark.parametrize("name", sorted(_golden_points()))
+def test_makespans_match_recorded_goldens(name):
+    rec = _golden_points()[name]
+    got = _observe(rec["routine"], rec["n"], rec["nb"])
+    expected = {
+        "makespan": rec["makespan"],
+        "makespan_hex": rec["makespan_hex"],
+        "events_fired": rec["events_fired"],
+        "transfers": rec["transfers"],
+        "tasks": rec["tasks"],
+    }
+    assert got == expected, (
+        f"{name} drifted from the recorded golden — simulated behaviour "
+        "changed; if deliberate, re-record tests/data/golden_makespans.json"
+    )

@@ -59,6 +59,18 @@ def test_remove_missing_or_pinned_rejected():
     c.remove(key(0))
 
 
+def test_pin_count_reflects_pins_and_tolerates_missing_keys():
+    c = make_cache()
+    assert c.pin_count(key(7)) == 0  # non-resident: zero, not an error
+    c.insert(key(0), 10)
+    assert c.pin_count(key(0)) == 0
+    c.pin(key(0))
+    c.pin(key(0))
+    assert c.pin_count(key(0)) == 2
+    c.unpin(key(0))
+    assert c.pin_count(key(0)) == 1
+
+
 def test_unbalanced_unpin_rejected():
     c = make_cache()
     c.insert(key(0), 10)

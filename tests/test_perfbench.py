@@ -1,0 +1,118 @@
+"""Tests for the simulator perf harness (:mod:`repro.bench.perfbench`)."""
+
+import json
+
+from repro.bench import perfbench
+from repro.bench.perfbench import (
+    BenchResult,
+    bench_engine_events,
+    bench_macro,
+    compare_to_baseline,
+    run_suite,
+    suite_to_json,
+)
+
+
+def test_engine_micro_counts_every_event():
+    res = bench_engine_events(num_events=2_000)
+    # 64 seed events plus the respawned chain; the engine reports them all.
+    assert res.events == 2_000 + 63
+    assert res.kind == "micro"
+    assert res.wall_s > 0.0
+    assert res.events_per_s > 0.0
+
+
+def test_macro_records_virtual_time_fields():
+    res = bench_macro("macro-gemm-tiny", "gemm", n=2048, nb=512)
+    assert res.kind == "macro"
+    assert res.makespan_s is not None and res.makespan_s > 0.0
+    assert res.tasks is not None and res.tasks > 0
+    assert res.transfers is not None and res.transfers["h2d"] > 0
+    assert res.events > 0
+
+
+def test_full_suite_contains_the_fast_names(monkeypatch):
+    """A committed full baseline must contain every name CI's --fast checks."""
+    recorded = []
+
+    def fake_micro(num_events=200_000):
+        recorded.append(f"micro-{num_events}")
+        return BenchResult(name=f"micro-engine-{num_events // 1000}k-events",
+                           kind="micro", wall_s=1.0, events=num_events,
+                           events_per_s=float(num_events))
+
+    def fake_macro(name, routine, n, nb):
+        recorded.append(name)
+        return BenchResult(name=name, kind="macro", wall_s=1.0, events=10,
+                           events_per_s=10.0, routine=routine, n=n, nb=nb,
+                           makespan_s=0.5, tasks=4, transfers={"h2d": 1})
+
+    monkeypatch.setattr(perfbench, "bench_engine_events", fake_micro)
+    monkeypatch.setattr(perfbench, "bench_macro", fake_macro)
+    fast_names = {r.name for r in run_suite(fast=True)}
+    full_names = {r.name for r in run_suite(fast=False)}
+    assert fast_names <= full_names
+
+
+def test_compare_flags_events_per_s_regression():
+    baseline = {"results": [{"name": "x", "events_per_s": 1000.0}]}
+    current = [BenchResult(name="x", kind="micro", wall_s=1.0,
+                           events=100, events_per_s=500.0)]
+    failures = compare_to_baseline(current, baseline, tolerance=0.30)
+    assert len(failures) == 1 and "regressed" in failures[0]
+    # Within tolerance: no failure.
+    ok = [BenchResult(name="x", kind="micro", wall_s=1.0,
+                      events=100, events_per_s=800.0)]
+    assert compare_to_baseline(ok, baseline, tolerance=0.30) == []
+
+
+def test_compare_flags_makespan_drift_as_determinism_break():
+    baseline = {"results": [{
+        "name": "m", "events_per_s": 10.0, "makespan_s": 0.5,
+        "transfers": {"h2d": 3},
+    }]}
+    drifted = [BenchResult(name="m", kind="macro", wall_s=1.0, events=10,
+                           events_per_s=10.0, makespan_s=0.5000001,
+                           transfers={"h2d": 3})]
+    failures = compare_to_baseline(drifted, baseline, tolerance=0.30)
+    assert len(failures) == 1 and "determinism" in failures[0]
+    bad_transfers = [BenchResult(name="m", kind="macro", wall_s=1.0, events=10,
+                                 events_per_s=10.0, makespan_s=0.5,
+                                 transfers={"h2d": 4})]
+    failures = compare_to_baseline(bad_transfers, baseline, tolerance=0.30)
+    assert len(failures) == 1 and "transfer stats" in failures[0]
+
+
+def test_compare_ignores_unknown_benchmarks():
+    baseline = {"results": [{"name": "only-in-baseline", "events_per_s": 1.0}]}
+    current = [BenchResult(name="new-benchmark", kind="micro", wall_s=1.0,
+                           events=1, events_per_s=0.001)]
+    assert compare_to_baseline(current, baseline, tolerance=0.30) == []
+
+
+def test_suite_json_round_trips():
+    results = [BenchResult(name="x", kind="micro", wall_s=1.0,
+                           events=5, events_per_s=5.0)]
+    payload = suite_to_json(results, fast=True)
+    decoded = json.loads(json.dumps(payload))
+    assert decoded["schema"] == perfbench.SCHEMA
+    assert decoded["fast"] is True
+    assert decoded["results"][0]["name"] == "x"
+    # None-valued macro fields are omitted from the JSON, not serialized.
+    assert "makespan_s" not in decoded["results"][0]
+
+
+def test_committed_baseline_matches_schema_and_has_headline():
+    """BENCH_runtime.json at the repo root is the CI baseline; keep it sane."""
+    from pathlib import Path
+
+    path = Path(__file__).parent.parent / "BENCH_runtime.json"
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["schema"] == perfbench.SCHEMA
+    names = {r["name"] for r in payload["results"]}
+    assert "macro-gemm-n32768" in names
+    # Every fast-subset name CI checks must be present in the baseline.
+    assert {n for n, *_ in perfbench.FAST_MACRO_POINTS} <= names
+    assert "micro-engine-50k-events" in names
+    headline = payload["headline"]
+    assert headline["before_wall_s"] / headline["after_wall_s"] >= 1.5

@@ -66,6 +66,33 @@ def test_accounting():
     assert chan.transfer_count == 2
 
 
+def test_occupy_blocks_interval_and_accounts():
+    # The public API for externally-timed occupancy (PCIe-peer routes charge
+    # both host pipes for an interval the fabric computed itself).
+    chan = make_channel(bw=1e9)
+    chan.occupy(2.0, 5.0, nbytes=300)
+    assert chan.busy_until == 5.0
+    assert chan.bytes_moved == 300
+    assert chan.transfer_count == 1
+    start, _ = chan.reserve(1_000)  # FIFO: queued behind the occupancy
+    assert start == pytest.approx(5.0)
+
+
+def test_occupy_never_rewinds_busy_until():
+    chan = make_channel(bw=1e9)
+    chan.reserve(1_000_000_000)  # busy until 1.0
+    chan.occupy(0.1, 0.2, nbytes=10)
+    assert chan.busy_until == pytest.approx(1.0)
+
+
+def test_occupy_rejects_invalid_intervals():
+    chan = make_channel()
+    with pytest.raises(SimulationError):
+        chan.occupy(2.0, 1.0, nbytes=10)
+    with pytest.raises(SimulationError):
+        chan.occupy(0.0, 1.0, nbytes=-1)
+
+
 def test_utilization_bounds():
     chan = make_channel(bw=1e9)
     chan.reserve(500_000_000)

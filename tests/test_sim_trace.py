@@ -27,6 +27,27 @@ def test_disabled_recorder_drops_everything():
     assert len(tr) == 0
 
 
+def test_lazy_label_evaluated_when_enabled():
+    tr = TraceRecorder()
+    tr.record(TraceCategory.KERNEL, 0, 0.0, 1.0, label=lambda: "gemm[0,0]")
+    assert list(tr)[0].label == "gemm[0,0]"
+
+
+def test_lazy_label_not_evaluated_when_disabled():
+    # The point of callable labels: a disabled recorder must never pay the
+    # f-string cost — the hot path hands in thunks, not formatted strings.
+    tr = TraceRecorder(enabled=False)
+    calls = []
+
+    def label():
+        calls.append(1)
+        return "never"
+
+    tr.record(TraceCategory.KERNEL, 0, 0.0, 1.0, label=label)
+    assert calls == []
+    assert len(tr) == 0
+
+
 def test_invalid_interval_rejected():
     tr = TraceRecorder()
     with pytest.raises(ValueError):
