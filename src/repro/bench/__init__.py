@@ -9,21 +9,38 @@ The simulator is deterministic, so a single run replaces the paper's mean of
 8 repetitions (§IV-A) — there is no run-to-run variance to average away.
 """
 
+from repro.bench.cache import PointCache, code_fingerprint
+from repro.bench.cellspec import CellOutcome, CellSpec, PlatformHandle
+from repro.bench.executor import SweepExecutor, default_executor, set_default_executor
 from repro.bench.harness import (
     BestTileResult,
     ExperimentResult,
     best_over_tiles,
     dod_tile_size,
+    fmt_cell,
     run_point,
+    safe_point,
+    tile_specs,
 )
 from repro.bench.workloads import matrices_for, paper_sizes
 
 __all__ = [
     "BestTileResult",
+    "CellOutcome",
+    "CellSpec",
     "ExperimentResult",
+    "PlatformHandle",
+    "PointCache",
+    "SweepExecutor",
     "best_over_tiles",
+    "code_fingerprint",
+    "default_executor",
     "dod_tile_size",
+    "fmt_cell",
     "matrices_for",
     "paper_sizes",
     "run_point",
+    "safe_point",
+    "set_default_executor",
+    "tile_specs",
 ]

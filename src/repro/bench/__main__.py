@@ -3,6 +3,11 @@
 Runs one (or ``all``) of the paper's experiments and prints the regenerated
 rows/series plus the shape checks.  ``--fast`` shrinks the size sweeps for a
 quick look; the full sweeps reproduce the paper's axes.
+
+``--jobs N`` fans the sweep cells out over N worker processes (``--jobs 1``
+is the serial path; any N produces byte-identical rows), and ``--cache``
+persists cell outcomes under ``.bench_cache/`` so a re-run simulates nothing
+that already ran against the same source tree.
 """
 
 from __future__ import annotations
@@ -10,7 +15,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
+from repro.bench.cache import PointCache
+from repro.bench.executor import SweepExecutor, set_default_executor
 from repro.bench.experiments import EXPERIMENTS
 
 
@@ -26,6 +34,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--fast", action="store_true", help="reduced size sweep (quick look)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep cells (default: cores-1; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=".bench_cache",
+        default=None,
+        metavar="DIR",
+        help="persist cell outcomes under DIR (default .bench_cache) across runs",
     )
     parser.add_argument(
         "--markdown",
@@ -44,20 +67,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    cache = PointCache(
+        Path(args.cache) / "points.jsonl" if args.cache else None
+    )
+    executor = SweepExecutor(jobs=args.jobs, cache=cache)
+    # Install as the process default so every experiment — and the harness
+    # helpers they call point by point — shares one memo: cells that several
+    # experiments sweep (Fig 3 / Table II, Fig 5 / Fig 6) simulate once.
+    previous = set_default_executor(executor)
     failed = 0
     results = []
-    for name in names:
-        t0 = time.time()
-        result = EXPERIMENTS[name](fast=args.fast)
-        results.append((name, result))
-        print(result.render())
-        if args.plot:
-            chart = _sweep_chart(result)
-            if chart:
-                print(chart)
-        print(f"(completed in {time.time() - t0:.1f}s wall)\n")
-        if not result.all_checks_pass:
-            failed += 1
+    try:
+        for name in names:
+            t0 = time.time()
+            result = EXPERIMENTS[name](fast=args.fast)
+            results.append((name, result))
+            print(result.render())
+            if args.plot:
+                chart = _sweep_chart(result)
+                if chart:
+                    print(chart)
+            print(f"(completed in {time.time() - t0:.1f}s wall)\n")
+            if not result.all_checks_pass:
+                failed += 1
+    finally:
+        executor.close()
+        set_default_executor(previous)
+    stats = executor.stats()
+    print(
+        f"sweep: {stats['cells_simulated']} cells simulated, "
+        f"{stats['memo_hits']} memo hits, {stats['store_hits']} cache hits "
+        f"(jobs={executor.jobs}"
+        + (f", cache={args.cache})" if args.cache else ")")
+    )
     if args.markdown:
         from repro.bench.report import combined_markdown
 

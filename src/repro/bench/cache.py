@@ -1,0 +1,139 @@
+"""Cross-experiment point cache.
+
+Every sweep cell is a pure function of its :class:`~repro.bench.cellspec.CellSpec`
+*and of the simulator's source code*, so an outcome can be memoized within a
+process and persisted across invocations — provided staleness is impossible.
+:func:`code_fingerprint` hashes the source of every package whose behaviour
+feeds a makespan (``sim``, ``runtime``, ``memory``, ``topology``, ``blas``,
+``libraries``, plus the model constants in ``config.py``); the fingerprint is
+part of every stored record, so editing any of those files silently
+invalidates all prior results instead of serving stale numbers.
+
+The persistent store is a JSON-lines file (one record per line, append-only)
+under ``.bench_cache/`` by default — trivially diffable, concatenatable, and
+robust to truncation: unreadable lines are skipped, not fatal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.bench.cellspec import CellOutcome, CellSpec
+
+#: Source trees whose code determines every simulated outcome.
+FINGERPRINT_SUBDIRS = ("sim", "runtime", "memory", "topology", "blas", "libraries")
+
+_fingerprint_memo: dict[tuple[Path, ...], str] = {}
+
+
+def _package_roots() -> tuple[Path, ...]:
+    import repro
+
+    pkg = Path(repro.__file__).parent
+    return tuple(pkg / sub for sub in FINGERPRINT_SUBDIRS) + (pkg / "config.py",)
+
+
+def code_fingerprint(roots: tuple[Path, ...] | None = None) -> str:
+    """Stable digest of the simulation-relevant source files.
+
+    ``roots`` (directories or single files) defaults to the installed
+    package's trees; it is injectable so tests can fingerprint synthetic
+    trees and prove the edit-invalidates-cache property cheaply.
+    """
+    roots = _package_roots() if roots is None else tuple(roots)
+    memo = _fingerprint_memo.get(roots)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            if not path.is_file():
+                continue
+            rel = path.relative_to(root.parent)
+            digest.update(str(rel).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    result = digest.hexdigest()
+    _fingerprint_memo[roots] = result
+    return result
+
+
+class PointCache:
+    """In-process memo plus an optional persistent JSON-lines store.
+
+    With ``path=None`` the cache is memory-only (the executor's default):
+    it deduplicates cells within one invocation — including *across*
+    experiments in an ``all`` run — and costs nothing to keep enabled.
+    With a path, hits survive across invocations; records are keyed on
+    ``(CellSpec.cache_key(), code fingerprint)``.
+    """
+
+    def __init__(self, path: Path | str | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._memo: dict[tuple[str, str], CellOutcome] = {}
+        self._from_store: set[tuple[str, str]] = set()
+        self.memo_hits = 0
+        self.store_hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                key = (rec["key"], rec["fingerprint"])
+                outcome = CellOutcome.from_json(rec["outcome"])
+            except (ValueError, KeyError, TypeError):
+                continue  # truncated/corrupt line: ignore, will re-simulate
+            self._memo[key] = outcome
+            self._from_store.add(key)
+
+    @property
+    def persistent(self) -> bool:
+        return self.path is not None
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def get(self, spec: CellSpec, fingerprint: str) -> CellOutcome | None:
+        key = (spec.cache_key(), fingerprint)
+        outcome = self._memo.get(key)
+        if outcome is None:
+            self.misses += 1
+        elif key in self._from_store:
+            self.store_hits += 1
+        else:
+            self.memo_hits += 1
+        return outcome
+
+    def put(self, spec: CellSpec, fingerprint: str, outcome: CellOutcome) -> None:
+        key = (spec.cache_key(), fingerprint)
+        if key in self._memo:
+            return
+        self._memo[key] = outcome
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            record = {
+                "key": spec.cache_key(),
+                "fingerprint": fingerprint,
+                "outcome": outcome.to_json(),
+            }
+            with self.path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._memo),
+            "memo_hits": self.memo_hits,
+            "store_hits": self.store_hits,
+            "misses": self.misses,
+        }

@@ -13,9 +13,15 @@ topo" (both disabled).  Shape criteria from the paper (§IV-B, Table II):
 
 from __future__ import annotations
 
-from repro.bench.harness import ExperimentResult, best_over_tiles, series_to_rows
+from repro.bench.cellspec import as_handle
+from repro.bench.executor import SweepExecutor, default_executor
+from repro.bench.harness import (
+    ExperimentResult,
+    best_over_tiles,
+    series_to_rows,
+    tile_specs,
+)
 from repro.bench.workloads import paper_sizes
-from repro.topology.dgx1 import make_dgx1
 from repro.topology.platform import Platform
 
 ROUTINES = ("gemm", "syr2k", "trsm")
@@ -32,14 +38,30 @@ def run(
     fast: bool = False,
     sizes: tuple[int, ...] | None = None,
     routines: tuple[str, ...] | None = None,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
-    plat = platform if platform is not None else make_dgx1(8)
+    handle = as_handle(platform)
+    plat = platform if handle is None else handle
+    ex = executor if executor is not None else default_executor()
     sizes = sizes if sizes is not None else paper_sizes(fast)
     if routines is None:
         # TRSM's heuristic gains live at the small/large ends of the full
         # sweep; the 3-point fast subset misrepresents it, so fast mode keeps
         # the two unambiguous routines (run the full sweep for all three).
         routines = ("gemm", "syr2k") if fast else ROUTINES
+    if handle is not None:
+        # Enumerate every cell up front and submit one batch: the executor
+        # parallelizes across the whole figure and deduplicates cells shared
+        # with other experiments, instead of walking point by point.
+        ex.evaluate(
+            [
+                spec
+                for routine in routines
+                for curve in CURVES
+                for n in sizes
+                for spec in tile_specs(curve, routine, n, handle, fast=fast)
+            ]
+        )
     series: dict[str, dict[int, float | None]] = {}
     for routine in routines:
         for curve in CURVES:
@@ -47,7 +69,7 @@ def run(
             series[key] = {}
             for n in sizes:
                 series[key][n] = best_over_tiles(
-                    curve, routine, n, plat, fast=fast
+                    curve, routine, n, plat, fast=fast, executor=ex
                 ).tflops
 
     checks: dict[str, bool] = {}

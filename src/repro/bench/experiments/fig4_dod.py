@@ -13,16 +13,26 @@ Chameleon Tile and cuBLAS-XT as references.  Shape criteria (§IV-C):
 
 from __future__ import annotations
 
+from repro.bench.cellspec import as_handle
+from repro.bench.executor import SweepExecutor, default_executor
 from repro.bench.harness import (
     ExperimentResult,
     best_over_tiles,
     series_to_rows,
+    tile_specs,
 )
 from repro.bench.workloads import paper_sizes
-from repro.topology.dgx1 import make_dgx1
 from repro.topology.platform import Platform
 
 ROUTINES = ("gemm", "syr2k", "trsm")
+
+#: (series suffix, library, scenario) of the figure's four curves.
+CURVES = (
+    ("xkblas-host", "xkblas", "host"),
+    ("xkblas-dod", "xkblas", "device"),
+    ("chameleon-tile", "chameleon-tile", "host"),
+    ("cublas-xt", "cublas-xt", "host"),
+)
 
 
 def run(
@@ -30,27 +40,36 @@ def run(
     fast: bool = False,
     sizes: tuple[int, ...] | None = None,
     routines: tuple[str, ...] = ROUTINES,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
-    plat = platform if platform is not None else make_dgx1(8)
+    handle = as_handle(platform)
+    plat = platform if handle is None else handle
+    ex = executor if executor is not None else default_executor()
     sizes = sizes if sizes is not None else paper_sizes(fast)
+    if handle is not None:
+        ex.evaluate(
+            [
+                spec
+                for routine in routines
+                for _, lib, scenario in CURVES
+                for n in sizes
+                for spec in tile_specs(
+                    lib, routine, n, handle, scenario=scenario,
+                    fast=fast if scenario == "host" else False,
+                )
+            ]
+        )
     series: dict[str, dict[int, float | None]] = {}
     for routine in routines:
-        series[f"{routine}/xkblas-host"] = {
-            n: best_over_tiles("xkblas", routine, n, plat, fast=fast).tflops
-            for n in sizes
-        }
-        series[f"{routine}/xkblas-dod"] = {
-            n: best_over_tiles("xkblas", routine, n, plat, scenario="device").tflops
-            for n in sizes
-        }
-        series[f"{routine}/chameleon-tile"] = {
-            n: best_over_tiles("chameleon-tile", routine, n, plat, fast=fast).tflops
-            for n in sizes
-        }
-        series[f"{routine}/cublas-xt"] = {
-            n: best_over_tiles("cublas-xt", routine, n, plat, fast=fast).tflops
-            for n in sizes
-        }
+        for suffix, lib, scenario in CURVES:
+            series[f"{routine}/{suffix}"] = {
+                n: best_over_tiles(
+                    lib, routine, n, plat, scenario=scenario,
+                    fast=fast if scenario == "host" else False,
+                    executor=ex,
+                ).tflops
+                for n in sizes
+            }
 
     checks: dict[str, bool] = {}
     for routine in routines:

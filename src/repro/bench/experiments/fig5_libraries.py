@@ -14,10 +14,11 @@ The paper's headline comparison.  Shape criteria (§IV-D):
 
 from __future__ import annotations
 
-from repro.bench.harness import ExperimentResult, safe_point, series_to_rows
+from repro.bench.cellspec import as_handle
+from repro.bench.executor import SweepExecutor, default_executor
+from repro.bench.harness import ExperimentResult, safe_point, series_to_rows, tile_specs
 from repro.bench.workloads import paper_sizes
 from repro.libraries.registry import FIG5_LIBRARIES
-from repro.topology.dgx1 import make_dgx1
 from repro.topology.platform import Platform
 
 ROUTINES = ("gemm", "symm", "syr2k", "syrk", "trmm", "trsm")
@@ -29,15 +30,33 @@ def run(
     sizes: tuple[int, ...] | None = None,
     routines: tuple[str, ...] | None = None,
     libraries: tuple[str, ...] = FIG5_LIBRARIES,
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
-    plat = platform if platform is not None else make_dgx1(8)
+    handle = as_handle(platform)
+    plat = platform if handle is None else handle
+    ex = executor if executor is not None else default_executor()
     sizes = sizes if sizes is not None else paper_sizes(fast)
     routines = routines if routines is not None else (("gemm", "syr2k") if fast else ROUTINES)
+    if handle is not None:
+        ex.evaluate(
+            [
+                spec
+                for routine in routines
+                for lib in libraries
+                for n in sizes
+                for spec in tile_specs(lib, routine, n, handle, fast=fast)
+            ]
+        )
+    notes = [
+        "missing points ('-') = routine unsupported or allocation failure,"
+        " matching the paper's missing curves",
+    ]
     series: dict[str, dict[int, float | None]] = {}
     for routine in routines:
         for lib in libraries:
             series[f"{routine}/{lib}"] = {
-                n: safe_point(lib, routine, n, plat, fast=fast) for n in sizes
+                n: safe_point(lib, routine, n, plat, notes=notes, fast=fast, executor=ex)
+                for n in sizes
             }
 
     checks: dict[str, bool] = {}
@@ -117,10 +136,7 @@ def run(
         title="Libraries on DGX-1, 8 GPUs, FP64, data-on-host (TFlop/s)",
         columns=["N"] + list(series),
         rows=series_to_rows(sizes, series),
-        notes=[
-            "missing points ('-') = routine unsupported or allocation failure,"
-            " matching the paper's missing curves",
-        ],
+        notes=notes,
         checks=checks,
     )
 

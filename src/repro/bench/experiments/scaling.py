@@ -9,12 +9,14 @@ buy.
 
 from __future__ import annotations
 
-from repro.bench.harness import ExperimentResult, run_point
-from repro.topology.dgx1 import make_dgx1
+from repro.bench.cellspec import CellSpec, PlatformHandle
+from repro.bench.executor import SweepExecutor, default_executor
+from repro.bench.harness import ExperimentResult
 from repro.topology.platform import Platform
 
 GPU_COUNTS = (1, 2, 4, 6, 8)
 N, NB = 16384, 2048
+VARIANTS = ("xkblas", "xkblas-no-heuristic-no-topo")
 
 
 def run(
@@ -24,18 +26,25 @@ def run(
     nb: int = NB,
     gpu_counts: tuple[int, ...] = GPU_COUNTS,
     routines: tuple[str, ...] = ("gemm", "syr2k"),
+    executor: SweepExecutor | None = None,
 ) -> ExperimentResult:
     if fast:
         gpu_counts = tuple(g for g in gpu_counts if g in (1, 4, 8))
+    ex = executor if executor is not None else default_executor()
+    # Every (routine, variant, gpu-count) cell up front, one batch: the
+    # per-count platforms are just handles, built inside the workers.
+    specs = {
+        (routine, variant, g): CellSpec(
+            library=variant, routine=routine, n=n, nb=nb,
+            platform=PlatformHandle("dgx1", g),
+        )
+        for routine in routines
+        for g in gpu_counts
+        for variant in VARIANTS
+    }
+    outcomes = ex.evaluate(specs.values())
+    tflops = {key: outcomes[spec].tflops for key, spec in specs.items()}
     rows = []
-    tflops: dict[tuple[str, str, int], float] = {}
-    for routine in routines:
-        for g in gpu_counts:
-            plat = make_dgx1(g)
-            for variant in ("xkblas", "xkblas-no-heuristic-no-topo"):
-                tflops[(routine, variant, g)] = run_point(
-                    variant, routine, n, nb, plat
-                ).tflops
     for routine in routines:
         for g in gpu_counts:
             full = tflops[(routine, "xkblas", g)]

@@ -5,6 +5,12 @@ platform; ``best_over_tiles`` applies the paper's §IV-A methodology — "we onl
 report results with a tile size that maximizes performance among the
 experimented tile sizes (1024, 2048, 4096) for each matrix dimension and
 library", extended up to 16384 for cuBLAS-XT and SLATE.
+
+Cells described by a :class:`~repro.bench.cellspec.PlatformHandle` (the
+default) route through the sweep executor — an in-process memo plus optional
+worker pool and persistent cache (see :mod:`repro.bench.executor`).  Passing
+a hand-built :class:`Platform` object, a numeric run, or ``keep_runtime``
+takes the direct, uncached path.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ import math
 from typing import Iterable, Sequence
 
 from repro import config
+from repro.bench.cellspec import CellSpec, PlatformHandle, as_handle
+from repro.bench.executor import SweepExecutor, default_executor
 from repro.bench.workloads import default_args, matrices_for
 from repro.errors import BenchmarkError, LibraryError
 from repro.libraries.base import LibraryResult
@@ -33,13 +41,29 @@ def run_point(
     routine: str,
     n: int,
     nb: int,
-    platform: Platform | None = None,
+    platform: Platform | PlatformHandle | None = None,
     scenario: str = "host",
     numeric: bool = False,
     keep_runtime: bool = False,
     k: int | None = None,
+    executor: SweepExecutor | None = None,
 ) -> LibraryResult:
-    """Run one benchmark cell and return its :class:`LibraryResult`."""
+    """Run one benchmark cell and return its :class:`LibraryResult`.
+
+    With an ``executor`` (and no numeric/``keep_runtime`` state, which a
+    cache must never serve), the cell is routed through the executor's
+    cache; otherwise it is simulated directly in this process.
+    """
+    if executor is not None and not numeric and not keep_runtime:
+        handle = as_handle(platform)
+        if handle is not None:
+            spec = CellSpec(
+                library=library, routine=routine, n=n, nb=nb,
+                scenario=scenario, k=k, platform=handle,
+            )
+            return result_from_outcome(spec, executor.evaluate_one(spec))
+    if isinstance(platform, PlatformHandle):
+        platform = platform.build()
     platform = platform if platform is not None else make_dgx1(8)
     lib = make_library(library, platform)
     mats = matrices_for(routine, n, k=k, numeric=numeric)
@@ -119,43 +143,127 @@ def tile_candidates(library: str, fast: bool = False) -> tuple[int, ...]:
     return config.PAPER_TILE_SIZES
 
 
-def best_over_tiles(
+def _candidate_tiles(
     library: str,
-    routine: str,
     n: int,
-    platform: Platform | None = None,
-    scenario: str = "host",
-    tiles: Sequence[int] | None = None,
-    fast: bool = False,
-) -> BestTileResult:
-    """Run the cell at each candidate tile size and keep the fastest."""
-    platform = platform if platform is not None else make_dgx1(8)
+    num_gpus: int,
+    scenario: str,
+    tiles: Sequence[int] | None,
+    fast: bool,
+) -> tuple[int, ...]:
+    """Candidate tile sizes for one cell, after the tractability pruning."""
     if tiles is None:
         if scenario == "device":
             # §IV-C slackness rule plus a finer candidate for routines whose
             # dependency structure needs more parallelism (TRSM pivots).
-            coarse = dod_tile_size(n, platform.num_gpus)
+            coarse = dod_tile_size(n, num_gpus)
             tiles = tuple(dict.fromkeys((coarse, max(512, coarse // 2), 2048)))
         else:
             tiles = tile_candidates(library, fast=fast)
-    tried: dict[int, float] = {}
-    best: LibraryResult | None = None
-    for nb in tiles:
-        if nb >= n:
-            continue
-        if n / nb > 32:
-            # Pruned for tractability: tile sizes yielding more than 32x32
-            # output tiles never maximized performance in our sweeps (kernel
-            # efficiency drops and runtime overhead grows), and their task
-            # graphs are an order of magnitude larger to simulate.
-            continue
-        res = run_point(library, routine, n, nb, platform, scenario=scenario)
-        tried[nb] = res.tflops
-        if best is None or res.tflops > best.tflops:
-            best = res
-    if best is None:
+    # nb >= n yields no tiling; n/nb > 32 is pruned for tractability: tile
+    # sizes yielding more than 32x32 output tiles never maximized performance
+    # in our sweeps (kernel efficiency drops and runtime overhead grows), and
+    # their task graphs are an order of magnitude larger to simulate.
+    return tuple(nb for nb in tiles if nb < n and n / nb <= 32)
+
+
+def tile_specs(
+    library: str,
+    routine: str,
+    n: int,
+    platform: PlatformHandle | None = None,
+    scenario: str = "host",
+    tiles: Sequence[int] | None = None,
+    fast: bool = False,
+) -> tuple[CellSpec, ...]:
+    """The cells one best-tile point expands to (§IV-A tile-size sweep).
+
+    This is what lets experiments *enumerate* every cell up front and submit
+    one batch to the executor: the candidate set is a pure function of the
+    point, so enumeration and assembly agree by construction.
+    """
+    handle = platform if platform is not None else PlatformHandle()
+    return tuple(
+        CellSpec(
+            library=library, routine=routine, n=n, nb=nb,
+            scenario=scenario, platform=handle,
+        )
+        for nb in _candidate_tiles(library, n, handle.gpus, scenario, tiles, fast)
+    )
+
+
+def result_from_outcome(spec: CellSpec, outcome) -> LibraryResult:
+    """Rebuild a (runtime-free) :class:`LibraryResult` from a cached outcome;
+    deterministic library failures re-raise as the original error kind."""
+    if not outcome.ok:
+        raise LibraryError(outcome.error or f"{spec.library} failed")
+    k = spec.n if spec.k is None else spec.k
+    return LibraryResult(
+        library=spec.library,
+        routine=spec.routine,
+        m=spec.n,
+        n=spec.n,
+        k=k,
+        nb=spec.nb,
+        seconds=outcome.seconds,
+        flops=outcome.flops,
+        scenario=spec.scenario,
+    )
+
+
+def best_over_tiles(
+    library: str,
+    routine: str,
+    n: int,
+    platform: Platform | PlatformHandle | None = None,
+    scenario: str = "host",
+    tiles: Sequence[int] | None = None,
+    fast: bool = False,
+    executor: SweepExecutor | None = None,
+) -> BestTileResult:
+    """Run the cell at each candidate tile size and keep the fastest."""
+    handle = as_handle(platform)
+    if handle is None:
+        # Hand-built platform: direct, uncached evaluation (legacy path).
+        assert isinstance(platform, Platform)
+        candidates = _candidate_tiles(
+            library, n, platform.num_gpus, scenario, tiles, fast
+        )
+        tried: dict[int, float] = {}
+        best: LibraryResult | None = None
+        for nb in candidates:
+            res = run_point(library, routine, n, nb, platform, scenario=scenario)
+            tried[nb] = res.tflops
+            if best is None or res.tflops > best.tflops:
+                best = res
+        if best is None:
+            raise BenchmarkError(f"no valid tile size among {tiles} for N={n}")
+        return BestTileResult(result=best, tried=tried)
+
+    specs = tile_specs(
+        library, routine, n, handle, scenario=scenario, tiles=tiles, fast=fast
+    )
+    if not specs:
         raise BenchmarkError(f"no valid tile size among {tiles} for N={n}")
-    return BestTileResult(result=best, tried=tried)
+    ex = executor if executor is not None else default_executor()
+    outcomes = ex.evaluate(specs)
+    tried = {}
+    best_spec: CellSpec | None = None
+    for spec in specs:
+        outcome = outcomes[spec]
+        if not outcome.ok:
+            continue
+        tried[spec.nb] = outcome.tflops
+        if best_spec is None or outcome.tflops > outcomes[best_spec].tflops:
+            best_spec = spec
+    if best_spec is None:
+        # Every tile failed the same deterministic way (unsupported routine,
+        # allocation failure); surface it as the library error it is.
+        first = outcomes[specs[0]]
+        raise LibraryError(first.error or f"{library} failed for N={n}")
+    return BestTileResult(
+        result=result_from_outcome(best_spec, outcomes[best_spec]), tried=tried
+    )
 
 
 @dataclasses.dataclass
@@ -172,7 +280,7 @@ class ExperimentResult:
     def render(self) -> str:
         """Plain-text table in the style of the paper's figures."""
         widths = [
-            max(len(str(col)), *(len(_fmt(row[i])) for row in self.rows))
+            max(len(str(col)), *(len(fmt_cell(row[i])) for row in self.rows))
             if self.rows
             else len(str(col))
             for i, col in enumerate(self.columns)
@@ -183,7 +291,7 @@ class ExperimentResult:
         lines.append("-" * len(header))
         for row in self.rows:
             lines.append(
-                "  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths))
+                "  ".join(fmt_cell(v).ljust(w) for v, w in zip(row, widths))
             )
         for note in self.notes:
             lines.append(f"note: {note}")
@@ -196,10 +304,16 @@ class ExperimentResult:
         return all(self.checks.values())
 
 
-def _fmt(v: object) -> str:
+def fmt_cell(v: object) -> str:
+    """Canonical table-cell formatting shared by text, Markdown and CSV."""
     if isinstance(v, float):
         return f"{v:.2f}"
     return str(v)
+
+
+#: Deprecated alias — ``fmt_cell`` is the public name; external callers of
+#: the old private helper keep working for one release.
+_fmt = fmt_cell
 
 
 def series_to_rows(
@@ -217,11 +331,26 @@ def series_to_rows(
 
 
 def safe_point(
-    library: str, routine: str, n: int, platform: Platform, **kw
+    library: str,
+    routine: str,
+    n: int,
+    platform: Platform | PlatformHandle | None = None,
+    notes: list[str] | None = None,
+    **kw,
 ) -> float | None:
     """Best-tile TFlop/s, or ``None`` for the figure's missing points
-    (unsupported routines, BLASX allocation failures)."""
+    (unsupported routines, BLASX allocation failures).
+
+    A :class:`BenchmarkError` — no valid tile size for this (N, tiles)
+    combination — also yields ``None`` instead of aborting the whole figure;
+    when ``notes`` is given, the skip is recorded there so the missing point
+    stays visible on the :class:`ExperimentResult`.
+    """
     try:
         return best_over_tiles(library, routine, n, platform, **kw).tflops
     except LibraryError:
+        return None
+    except BenchmarkError as exc:
+        if notes is not None:
+            notes.append(f"skipped {library}/{routine} N={n}: {exc}")
         return None

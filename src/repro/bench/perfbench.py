@@ -56,13 +56,16 @@ FAST_MACRO_POINTS = (
     ("macro-trsm-n8192", "trsm", 8192, 512),
 )
 
+#: Worker count of the harness-sweep parallel measurement.
+HARNESS_JOBS = 4
+
 
 @dataclasses.dataclass
 class BenchResult:
     """One benchmark measurement (wall time is host time, makespan virtual)."""
 
     name: str
-    kind: str  # "macro" | "micro"
+    kind: str  # "macro" | "micro" | "harness" (events = sweep cells)
     wall_s: float
     events: int
     events_per_s: float
@@ -142,6 +145,93 @@ def bench_macro(name: str, routine: str, n: int, nb: int) -> BenchResult:
     )
 
 
+# ----------------------------------------------------------------- harness
+
+
+def harness_slice_specs() -> list:
+    """The fixed 24-cell Fig. 5 slice the harness-sweep points measure.
+
+    2 routines x 2 libraries x 3 sizes x 2 tile candidates — small enough to
+    run in CI, wide enough that pool fan-out and cache hits both show.
+    """
+    from repro.bench.harness import tile_specs
+
+    specs = []
+    for routine in ("gemm", "syr2k"):
+        for lib in ("xkblas", "cublas-xt"):
+            for n in (8192, 12288, 16384):
+                specs.extend(tile_specs(lib, routine, n, tiles=(1024, 2048)))
+    return specs
+
+
+def bench_harness_sweep(parallel_jobs: int | None = HARNESS_JOBS) -> list[BenchResult]:
+    """Wall time of the fixed slice: serial, parallel (optional), cache-warm.
+
+    For ``kind="harness"`` results, ``events`` counts *cells* and
+    ``events_per_s`` is cells/second.  The warm measurement re-submits the
+    same batch to the serial executor, so it times pure cache-hit assembly —
+    what a second experiment sharing the cells pays.
+    """
+    from repro.bench.executor import SweepExecutor
+
+    specs = harness_slice_specs()
+
+    def timed(executor, name):
+        with executor as ex:
+            t0 = time.perf_counter()
+            ex.evaluate(specs)
+            wall = time.perf_counter() - t0
+            warm = None
+            if name == "harness-sweep-serial":
+                t0 = time.perf_counter()
+                ex.evaluate(specs)
+                warm = time.perf_counter() - t0
+        results = [
+            BenchResult(
+                name=name, kind="harness", wall_s=wall,
+                events=len(specs), events_per_s=len(specs) / wall,
+            )
+        ]
+        if warm is not None:
+            results.append(
+                BenchResult(
+                    name="harness-sweep-warm", kind="harness", wall_s=warm,
+                    events=len(specs), events_per_s=len(specs) / warm,
+                )
+            )
+        return results
+
+    out = timed(SweepExecutor(jobs=1), "harness-sweep-serial")
+    if parallel_jobs is not None and parallel_jobs > 1:
+        out += timed(
+            SweepExecutor(jobs=parallel_jobs),
+            f"harness-sweep-jobs{parallel_jobs}",
+        )
+    return out
+
+
+def harness_summary(results: list[BenchResult]) -> dict:
+    """The ``harness`` entry recorded in ``BENCH_runtime.json``."""
+    by_name = {r.name: r for r in results if r.kind == "harness"}
+    serial = by_name.get("harness-sweep-serial")
+    warm = by_name.get("harness-sweep-warm")
+    parallel = by_name.get(f"harness-sweep-jobs{HARNESS_JOBS}")
+    entry: dict = {
+        "slice": "fig5: (gemm,syr2k) x (xkblas,cublas-xt) x (8192,12288,16384)"
+                 " x nb(1024,2048)",
+        "cells": serial.events if serial else None,
+    }
+    if serial:
+        entry["serial_wall_s"] = serial.wall_s
+    if parallel and serial:
+        entry[f"jobs{HARNESS_JOBS}_wall_s"] = parallel.wall_s
+        entry["parallel_speedup"] = round(serial.wall_s / parallel.wall_s, 3)
+    if warm and serial:
+        entry["cache_warm_wall_s"] = warm.wall_s
+        entry["cache_warm_speedup"] = round(serial.wall_s / warm.wall_s, 1)
+    return entry
+
+
 # ------------------------------------------------------------------ suite
 
 
@@ -170,6 +260,9 @@ def run_suite(fast: bool = False, repeat: int = 1) -> list[BenchResult]:
                 best = res
         assert best is not None
         results.append(best)
+    # Harness sweep: serial + cache-warm always; the process-pool point only
+    # in the full suite (CI's --fast smoke stays single-process).
+    results.extend(bench_harness_sweep(parallel_jobs=None if fast else HARNESS_JOBS))
     return results
 
 
@@ -219,6 +312,10 @@ def compare_to_baseline(
     for res in results:
         base = base_by_name.get(res.name)
         if base is None:
+            continue
+        if res.kind == "harness":
+            # Sweep wall times depend on core count and (for the warm point)
+            # sub-millisecond timer noise; recorded for trajectory, not gated.
             continue
         floor = base["events_per_s"] * (1.0 - tolerance)
         if res.events_per_s < floor:
@@ -289,6 +386,7 @@ def main(argv: list[str] | None = None) -> int:
 
     results = run_suite(fast=args.fast, repeat=args.repeat)
     print(render(results))
+    print("harness:", json.dumps(harness_summary(results)))
 
     if args.output:
         payload = suite_to_json(results, fast=args.fast)

@@ -11,7 +11,7 @@ import csv
 import io
 from typing import Iterable
 
-from repro.bench.harness import ExperimentResult, _fmt
+from repro.bench.harness import ExperimentResult, fmt_cell
 
 
 def to_markdown(result: ExperimentResult) -> str:
@@ -20,7 +20,7 @@ def to_markdown(result: ExperimentResult) -> str:
     lines.append("| " + " | ".join(str(c) for c in result.columns) + " |")
     lines.append("|" + "|".join("---" for _ in result.columns) + "|")
     for row in result.rows:
-        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        lines.append("| " + " | ".join(fmt_cell(v) for v in row) + " |")
     lines.append("")
     for note in result.notes:
         lines.append(f"> {note}")
@@ -38,7 +38,7 @@ def to_csv(result: ExperimentResult) -> str:
     writer = csv.writer(buf)
     writer.writerow(result.columns)
     for row in result.rows:
-        writer.writerow([_fmt(v) for v in row])
+        writer.writerow([fmt_cell(v) for v in row])
     return buf.getvalue()
 
 

@@ -7,8 +7,6 @@ sweeps of the paper's figures.
 
 from __future__ import annotations
 
-import math
-
 from repro.blas.params import Side, Trans, Uplo
 from repro.errors import BenchmarkError
 from repro.memory.matrix import Matrix
@@ -82,7 +80,3 @@ def default_args(routine: str) -> dict:
             "alpha": 1.0,
         }
     raise BenchmarkError(f"unknown routine {routine!r}")
-
-
-def round_up(n: int, multiple: int) -> int:
-    return int(math.ceil(n / multiple)) * multiple

@@ -25,10 +25,26 @@ class DataStore:
     def __init__(self) -> None:
         self._device_arrays: dict[tuple[int, TileKey], np.ndarray] = {}
         self._tiles: dict[TileKey, Tile] = {}
+        self._matrix_index: dict[int, int] = {}
 
     def register(self, tile: Tile) -> None:
         """Make a tile known (idempotent)."""
         self._tiles.setdefault(tile.key, tile)
+        mid = tile.key.matrix_id
+        if mid not in self._matrix_index:
+            self._matrix_index[mid] = len(self._matrix_index)
+
+    def matrix_index(self, matrix_id: int) -> int:
+        """Dense run-local index of a matrix, in tile-registration order.
+
+        ``Matrix.id`` is a process-global counter, so its absolute value
+        depends on how many matrices existed before this run; any simulated
+        decision derived from it (the no-topo pseudo-random source pick)
+        would make a run's outcome depend on process history.  Registration
+        order is a pure function of the submitted task graph, so this index
+        is what decision code must mix instead.
+        """
+        return self._matrix_index.get(matrix_id, matrix_id)
 
     def tile(self, key: TileKey) -> Tile:
         return self._tiles[key]

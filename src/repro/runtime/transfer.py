@@ -38,10 +38,17 @@ from repro.topology.link import HOST
 from repro.topology.platform import Platform
 
 
-def _mix(key: TileKey, dst: int) -> int:
+def _mix(matrix_index: int, i: int, j: int, dst: int) -> int:
     """Deterministic integer hash of (tile, destination) — stable across
-    processes (pure integer arithmetic, no salted hashing)."""
-    h = (key.matrix_id * 1000003 + key.i * 10007 + key.j * 101 + dst) & 0xFFFFFFFF
+    processes (pure integer arithmetic, no salted hashing).
+
+    ``matrix_index`` must be the run-local :meth:`DataStore.matrix_index`,
+    never the process-global ``Matrix.id``: a cell's simulated outcome has
+    to be a pure function of its spec (the sweep executor caches outcomes
+    and replays them across processes), so no input may encode how many
+    matrices happened to exist earlier in the process.
+    """
+    h = (matrix_index * 1000003 + i * 10007 + j * 101 + dst) & 0xFFFFFFFF
     h ^= h >> 16
     h = (h * 0x45D9F3B) & 0xFFFFFFFF
     h ^= h >> 16
@@ -191,6 +198,10 @@ class TransferManager:
             self.datastore.drop_device_tile(key, dst)
         self.sanitize(key)
 
+    def _tile_mix(self, key: TileKey, dst: int) -> int:
+        """The no-ranking pseudo-random pick, keyed on run-local state only."""
+        return _mix(self.datastore.matrix_index(key.matrix_id), key.i, key.j, dst)
+
     def _select_source(self, key: TileKey, dst: int, now: float) -> tuple[int, float]:
         """Pick ``(source_location, source_ready_time)`` per the active policy."""
         candidates = [d for d in self.directory.valid_devices(key) if d != dst]
@@ -205,7 +216,7 @@ class TransferManager:
                 # first; modelled as a deterministic pseudo-random pick so no
                 # artificial hot source emerges (the paper's no-topo variant
                 # is link-class-blind, not systematically biased).
-                best = candidates[_mix(key, dst) % len(candidates)]
+                best = candidates[self._tile_mix(key, dst) % len(candidates)]
             self.caches[best].touch(key, now)
             return best, now
         if self.policy.optimistic:
@@ -274,7 +285,7 @@ class TransferManager:
             if self.policy.topology_aware:
                 src = min(candidates, key=self._rank_key[dst].__getitem__)
             else:
-                src = candidates[_mix(key, dst) % len(candidates)]
+                src = candidates[self._tile_mix(key, dst) % len(candidates)]
             return src, self._link_bandwidth[(src, dst)]
         return HOST, self.platform.host_bandwidth
 

@@ -1,0 +1,104 @@
+"""Tests for the point cache and its code-fingerprint invalidation."""
+
+import json
+
+from repro.bench.cache import PointCache, code_fingerprint
+from repro.bench.cellspec import CellOutcome, CellSpec
+
+SPEC = CellSpec(library="xkblas", routine="gemm", n=8192, nb=1024)
+OUTCOME = CellOutcome(ok=True, tflops=40.0, seconds=0.1, flops=4e12)
+
+
+def _tree(root, content):
+    (root / "runtime").mkdir(parents=True)
+    (root / "runtime" / "transfer.py").write_text(content)
+    (root / "sim.py").write_text("TICK = 1\n")
+    return (root / "runtime", root / "sim.py")
+
+
+# ---------------------------------------------------------- fingerprints
+
+
+def test_fingerprint_stable_for_identical_trees(tmp_path):
+    roots_a = _tree(tmp_path / "a", "def pick(): return 0\n")
+    roots_b = _tree(tmp_path / "b", "def pick(): return 0\n")
+    assert code_fingerprint(roots_a) == code_fingerprint(roots_b)
+
+
+def test_fingerprint_changes_when_source_edited(tmp_path):
+    # The acceptance property: editing a simulated-behaviour tree (here a
+    # stand-in for src/repro/runtime/) must produce a different fingerprint,
+    # so records stored under the old one become unreachable.
+    before = _tree(tmp_path / "a", "def pick(): return 0\n")
+    after = _tree(tmp_path / "b", "def pick(): return 1\n")
+    assert code_fingerprint(before) != code_fingerprint(after)
+
+
+def test_fingerprint_of_real_package_is_memoized():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+def test_fingerprint_change_invalidates_cached_records(tmp_path):
+    path = tmp_path / "points.jsonl"
+    cache = PointCache(path)
+    cache.put(SPEC, "fp-old", OUTCOME)
+    reloaded = PointCache(path)
+    assert reloaded.get(SPEC, "fp-old") == OUTCOME
+    # Same spec under a new fingerprint: the stale record must not be served.
+    assert reloaded.get(SPEC, "fp-new") is None
+
+
+# -------------------------------------------------------- in-memory cache
+
+
+def test_memory_cache_hit_miss_accounting():
+    cache = PointCache()
+    assert not cache.persistent
+    assert cache.get(SPEC, "fp") is None
+    cache.put(SPEC, "fp", OUTCOME)
+    assert cache.get(SPEC, "fp") == OUTCOME
+    assert cache.stats() == {
+        "entries": 1, "memo_hits": 1, "store_hits": 0, "misses": 1,
+    }
+
+
+def test_put_is_idempotent(tmp_path):
+    path = tmp_path / "points.jsonl"
+    cache = PointCache(path)
+    cache.put(SPEC, "fp", OUTCOME)
+    cache.put(SPEC, "fp", OUTCOME)
+    assert len(path.read_text().splitlines()) == 1
+    assert len(cache) == 1
+
+
+# ------------------------------------------------------- persistent store
+
+
+def test_store_round_trip_and_hit_attribution(tmp_path):
+    path = tmp_path / "cache" / "points.jsonl"
+    writer = PointCache(path)
+    writer.put(SPEC, "fp", OUTCOME)
+    failed = CellSpec(library="blasx", routine="syrk", n=8192, nb=1024)
+    writer.put(failed, "fp", CellOutcome(ok=False, error="unsupported"))
+
+    reader = PointCache(path)
+    assert len(reader) == 2
+    assert reader.get(SPEC, "fp") == OUTCOME
+    assert reader.get(failed, "fp").ok is False
+    # Disk-loaded hits count as store hits, not memo hits.
+    assert reader.stats()["store_hits"] == 2
+    assert reader.stats()["memo_hits"] == 0
+
+
+def test_corrupt_lines_are_skipped_not_fatal(tmp_path):
+    path = tmp_path / "points.jsonl"
+    PointCache(path).put(SPEC, "fp", OUTCOME)
+    with path.open("a") as fh:
+        fh.write("not json at all\n")
+        fh.write('{"key": "missing-the-rest"}\n')
+        fh.write(json.dumps({"key": "k", "fingerprint": "f", "outcome": None}) + "\n")
+        fh.write('{"key": "truncated", "fingerprint": "f", "outco')  # no newline
+    reader = PointCache(path)
+    assert len(reader) == 1
+    assert reader.get(SPEC, "fp") == OUTCOME

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.bench.cellspec import PlatformHandle
 from repro.bench.harness import (
     BestTileResult,
     ExperimentResult,
@@ -11,6 +12,7 @@ from repro.bench.harness import (
     safe_point,
     series_to_rows,
     tile_candidates,
+    tile_specs,
 )
 from repro.bench.workloads import default_args, matrices_for, paper_sizes
 from repro.errors import BenchmarkError
@@ -97,6 +99,32 @@ def test_best_over_tiles_prunes_oversized_and_overfine(plat):
 def test_safe_point_returns_none_for_unsupported(plat):
     assert safe_point("blasx", "syrk", 4096, plat, tiles=(1024,)) is None
     assert safe_point("xkblas", "gemm", 4096, plat, tiles=(1024,)) is not None
+
+
+def test_safe_point_records_benchmark_skip():
+    # No valid tile size (nb >= n prunes everything): the point is skipped,
+    # not fatal, and the skip lands in the caller's notes.
+    notes: list[str] = []
+    assert safe_point("xkblas", "gemm", 512, tiles=(1024,), notes=notes) is None
+    assert notes and notes[0].startswith("skipped xkblas/gemm N=512")
+
+
+def test_tile_specs_enumeration():
+    specs = tile_specs("xkblas", "gemm", 8192, tiles=(1024, 2048, 16384))
+    assert [s.nb for s in specs] == [1024, 2048]  # nb >= n pruned
+    assert all(s.library == "xkblas" and s.n == 8192 for s in specs)
+    assert tile_specs("xkblas", "gemm", 512, tiles=(1024,)) == ()
+
+
+def test_best_over_tiles_handle_path_matches_raw_platform(plat):
+    # The executor-routed path must reproduce the legacy direct path exactly.
+    direct = best_over_tiles("xkblas", "gemm", 8192, plat, tiles=(1024, 2048))
+    routed = best_over_tiles(
+        "xkblas", "gemm", 8192, PlatformHandle("dgx1", 4), tiles=(1024, 2048)
+    )
+    assert routed.tried == direct.tried
+    assert routed.nb == direct.nb
+    assert routed.tflops == direct.tflops
 
 
 def test_series_to_rows_layout():

@@ -1,0 +1,54 @@
+"""Guard against dead code in the bench package's public surface.
+
+Every public top-level function defined in ``repro/bench/*.py`` must be
+referenced by name somewhere else in the source tree or the tests — a public
+helper nobody calls is untested dead weight (this is how ``workloads.round_up``
+was caught and removed).
+"""
+
+import ast
+import re
+from pathlib import Path
+
+import repro.bench
+
+BENCH_DIR = Path(repro.bench.__file__).parent
+SRC_DIR = BENCH_DIR.parent
+TESTS_DIR = Path(__file__).parent
+
+
+def _public_functions(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    return [
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and not node.name.startswith("_")
+    ]
+
+
+def test_every_public_bench_helper_is_referenced():
+    corpus = [
+        (path, path.read_text(encoding="utf-8"))
+        for root in (SRC_DIR, TESTS_DIR)
+        for path in sorted(root.rglob("*.py"))
+    ]
+    unused = []
+    for module in sorted(BENCH_DIR.glob("*.py")):
+        for name in _public_functions(module):
+            if name == "main":  # CLI entry points are invoked by name
+                continue
+            pattern = re.compile(rf"\b{re.escape(name)}\b")
+            used = False
+            for path, text in corpus:
+                matches = len(pattern.findall(text))
+                # In the defining module the definition line itself is not
+                # a use; anywhere else a single mention is.
+                if path == module:
+                    matches -= 1
+                if matches > 0:
+                    used = True
+                    break
+            if not used:
+                unused.append(f"{module.name}:{name}")
+    assert not unused, f"unused public bench helpers: {unused}"

@@ -47,8 +47,16 @@ def test_full_suite_contains_the_fast_names(monkeypatch):
                            events_per_s=10.0, routine=routine, n=n, nb=nb,
                            makespan_s=0.5, tasks=4, transfers={"h2d": 1})
 
+    def fake_harness(parallel_jobs=perfbench.HARNESS_JOBS):
+        names = ["harness-sweep-serial", "harness-sweep-warm"]
+        if parallel_jobs is not None and parallel_jobs > 1:
+            names.append(f"harness-sweep-jobs{parallel_jobs}")
+        return [BenchResult(name=n, kind="harness", wall_s=1.0, events=24,
+                            events_per_s=24.0) for n in names]
+
     monkeypatch.setattr(perfbench, "bench_engine_events", fake_micro)
     monkeypatch.setattr(perfbench, "bench_macro", fake_macro)
+    monkeypatch.setattr(perfbench, "bench_harness_sweep", fake_harness)
     fast_names = {r.name for r in run_suite(fast=True)}
     full_names = {r.name for r in run_suite(fast=False)}
     assert fast_names <= full_names
@@ -81,6 +89,40 @@ def test_compare_flags_makespan_drift_as_determinism_break():
                                  transfers={"h2d": 4})]
     failures = compare_to_baseline(bad_transfers, baseline, tolerance=0.30)
     assert len(failures) == 1 and "transfer stats" in failures[0]
+
+
+def test_harness_sweep_slice_is_fixed_24_cells():
+    specs = perfbench.harness_slice_specs()
+    assert len(specs) == 24
+    assert len(set(specs)) == 24  # all distinct -> nothing dedupes away
+
+
+def test_harness_sweep_measures_serial_and_warm(monkeypatch):
+    from repro.bench.harness import tile_specs
+
+    # Shrink the slice so the measurement itself stays cheap in tests.
+    monkeypatch.setattr(
+        perfbench, "harness_slice_specs",
+        lambda: list(tile_specs("xkblas", "gemm", 4096, tiles=(1024, 2048))),
+    )
+    results = perfbench.bench_harness_sweep(parallel_jobs=None)
+    assert [r.name for r in results] == ["harness-sweep-serial", "harness-sweep-warm"]
+    serial, warm = results
+    assert serial.events == warm.events == 2
+    assert warm.wall_s < serial.wall_s  # memo hits, no simulation
+    summary = perfbench.harness_summary(results)
+    assert summary["cells"] == 2
+    assert summary["cache_warm_speedup"] > 1
+
+
+def test_compare_does_not_gate_harness_points():
+    # Sweep wall times are recorded for trajectory, never gated: a "slower"
+    # harness point on different hardware must not fail CI.
+    baseline = {"results": [{"name": "harness-sweep-serial",
+                             "events_per_s": 1000.0}]}
+    current = [BenchResult(name="harness-sweep-serial", kind="harness",
+                           wall_s=10.0, events=24, events_per_s=2.4)]
+    assert compare_to_baseline(current, baseline, tolerance=0.30) == []
 
 
 def test_compare_ignores_unknown_benchmarks():
