@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import gc
 import json
 import platform as host_platform
 import sys
@@ -104,6 +105,7 @@ def bench_engine_events(num_events: int = 200_000) -> BenchResult:
     seeds = 64
     for i in range(seeds):
         sim.schedule(float(i), tick)
+    gc.collect()  # do not bill leftover garbage from earlier points to this one
     t0 = time.perf_counter()
     sim.run()
     wall = time.perf_counter() - t0
@@ -123,6 +125,9 @@ def bench_engine_events(num_events: int = 200_000) -> BenchResult:
 def bench_macro(name: str, routine: str, n: int, nb: int) -> BenchResult:
     """One perf-mode routine invocation on the simulated 8-GPU DGX-1."""
     plat = make_dgx1(8)
+    # The previous point's task graph is one big cycle web (Task.successors);
+    # collect it now so its collection is not billed to this measurement.
+    gc.collect()
     t0 = time.perf_counter()
     res = run_point(routine=routine, library="xkblas", n=n, nb=nb,
                     platform=plat, keep_runtime=True)

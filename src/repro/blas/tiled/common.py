@@ -11,6 +11,13 @@ from repro.runtime.task import Task
 from repro.topology.device import characteristic_dim
 
 
+#: tiled builders emit thousands of tasks over a handful of distinct tile
+#: shapes and kernel names; memoizing the pure derivations keeps the
+#: graph-build phase linear in tasks rather than in dimension arithmetic.
+_DIM_CACHE: dict[tuple[int, ...], int] = {}
+_REGULARITY_CACHE: dict[str, float] = {}
+
+
 def make_task(
     name: str,
     reads: list[Tile],
@@ -22,14 +29,23 @@ def make_task(
 ) -> Task:
     """Build one tile task: ``reads`` then the output tile accessed RW (or W)."""
     mode = AccessMode.WRITE if write_only else AccessMode.READWRITE
-    accesses = [Access(t, AccessMode.READ) for t in reads] + [Access(rw, mode)]
+    accesses = [t.read_access for t in reads]
+    accesses.append(Access(rw, mode))
+    dim = _DIM_CACHE.get(dims)
+    if dim is None:
+        dim = _DIM_CACHE[dims] = characteristic_dim(*dims)
+    regularity = _REGULARITY_CACHE.get(name)
+    if regularity is None:
+        regularity = _REGULARITY_CACHE[name] = KERNEL_REGULARITY.get(
+            name.lstrip("dszc"), 1.0
+        )
     return Task(
         name=name,
         accesses=accesses,
         flops=flops,
-        dim=characteristic_dim(*dims),
+        dim=dim,
         kernel=kernel,
-        regularity=KERNEL_REGULARITY.get(name.lstrip("dszc"), 1.0),
+        regularity=regularity,
     )
 
 

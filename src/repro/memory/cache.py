@@ -111,11 +111,46 @@ class DeviceCache:
         """Protect a tile from eviction (inputs of a scheduled task)."""
         self._resident[key].pins += 1
 
+    def pin_if_resident(self, key: TileKey) -> bool:
+        """Fused ``key in cache`` + :meth:`pin`: one lookup, pins on a hit.
+
+        The launch path pins every resident input; the separate
+        membership probe per access was a measurable slice of large runs.
+        """
+        entry = self._resident.get(key)
+        if entry is None:
+            return False
+        entry.pins += 1
+        return True
+
     def unpin(self, key: TileKey) -> None:
         entry = self._resident[key]
         if entry.pins <= 0:
             raise CoherenceError(f"{key}: unbalanced unpin on device {self.device}")
         entry.pins -= 1
+
+    def unpin_if_resident(self, key: TileKey) -> None:
+        """:meth:`unpin` unless the tile was dropped meanwhile (transfer
+        completions unpin their source, which may have been evicted)."""
+        entry = self._resident.get(key)
+        if entry is not None:
+            if entry.pins <= 0:
+                raise CoherenceError(
+                    f"{key}: unbalanced unpin on device {self.device}"
+                )
+            entry.pins -= 1
+
+    def unpin_many(self, keys) -> None:
+        """:meth:`unpin` for a batch — one call per task completion instead of
+        one per pinned input."""
+        resident = self._resident
+        for key in keys:
+            entry = resident[key]
+            if entry.pins <= 0:
+                raise CoherenceError(
+                    f"{key}: unbalanced unpin on device {self.device}"
+                )
+            entry.pins -= 1
 
     def pin_count(self, key: TileKey) -> int:
         """Number of outstanding pins on ``key`` (0 when not resident).
@@ -129,6 +164,14 @@ class DeviceCache:
 
     def mark_dirty(self, key: TileKey, dirty: bool = True) -> None:
         self._resident[key].dirty = dirty
+
+    def note_write(self, key: TileKey, now: float) -> None:
+        """Fused :meth:`mark_dirty` + :meth:`touch` for the kernel write path:
+        one resident lookup sets the dirty bit and bumps recency."""
+        entry = self._resident[key]
+        entry.dirty = True
+        if now > entry.last_use:
+            entry.last_use = now
 
     def mark_shared_elsewhere(self, key: TileKey, flag: bool = True) -> None:
         entry = self._resident.get(key)
@@ -147,6 +190,20 @@ class DeviceCache:
             return True
         self.misses += 1
         return False
+
+    def access_hit(self, key: TileKey, now: float) -> bool:
+        """Fused :meth:`record_access` + :meth:`touch`: one lookup decides
+        hit/miss and bumps recency on a hit.  The residency fast path of
+        ``ensure_resident`` runs once per task input, so the saved dict probes
+        add up."""
+        entry = self._resident.get(key)
+        if entry is None:
+            self.misses += 1
+            return False
+        self.hits += 1
+        if now > entry.last_use:
+            entry.last_use = now
+        return True
 
     def evictable(self) -> list[_Resident]:
         return [e for e in self._resident.values() if e.pins == 0]

@@ -16,16 +16,45 @@ States per (tile, location):
   location is invalidated.
 
 The host is location :data:`~repro.topology.link.HOST` (-1).
+
+Storage layout
+--------------
+
+The directory is *array-backed*: tiles are interned to dense integer ids on
+first touch, and per-tile state lives in parallel lists indexed by that id —
+
+* ``_valid[tid]`` — bitmask of locations holding a valid replica, where
+  location ``loc`` occupies bit ``loc + 1`` (so the host, ``-1``, is bit 0);
+* ``_mod[tid]`` — bitmask of locations whose replica is ``MODIFIED`` (at most
+  one bit in any protocol-legal state; kept as a mask rather than a single
+  int so the verification suite can still seed the multi-owner states it
+  detects);
+* ``_gen[tid]`` — the tile generation guarding against ABA on flights;
+* ``_flights[tid]`` — ``dst -> InFlight``, insertion-ordered like the dict
+  the previous implementation used (source-selection tie-breaks depend on
+  that order, so it is part of the contract).
+
+Every state transition is therefore O(1) integer arithmetic instead of a
+nested ``dict[TileKey, dict[int, ReplicaState]]`` walk — this directory sits
+on the hot path of every simulated transfer and kernel completion (BLASX
+attributes its multi-GPU win to exactly such an O(1) coherence layer).  The
+key-addressed :class:`ReplicaState` API is unchanged, and ``_entries``
+remains available as a thin write-through view so the verification suite can
+keep seeding illegal states directly.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+from collections.abc import Iterator, MutableMapping
 
 from repro.errors import CoherenceError
 from repro.memory.tile import TileKey
 from repro.topology.link import HOST
+
+#: bit of a location inside the ``_valid``/``_mod`` masks (host ``-1`` -> 0).
+_HOST_BIT = 1 << (HOST + 1)
 
 
 class ReplicaState(enum.Enum):
@@ -49,11 +78,98 @@ class InFlight:
     generation: int
 
 
-@dataclasses.dataclass(slots=True)
-class _TileEntry:
-    states: dict[int, ReplicaState] = dataclasses.field(default_factory=dict)
-    in_flight: dict[int, InFlight] = dataclasses.field(default_factory=dict)
-    generation: int = 0
+class _StatesView(MutableMapping):
+    """Write-through ``location -> ReplicaState`` view over the bitmasks.
+
+    Exists for the verification suite, which seeds protocol-illegal states
+    (two owners, a valid flight destination...) by assigning into
+    ``directory._entries[key].states`` directly; the hot path never builds
+    one of these.
+    """
+
+    __slots__ = ("_d", "_tid")
+
+    def __init__(self, directory: "CoherenceDirectory", tid: int) -> None:
+        self._d = directory
+        self._tid = tid
+
+    def __getitem__(self, loc: int) -> ReplicaState:
+        d, tid, bit = self._d, self._tid, 1 << (loc + 1)
+        if not d._valid[tid] & bit:
+            raise KeyError(loc)
+        return ReplicaState.MODIFIED if d._mod[tid] & bit else ReplicaState.SHARED
+
+    def __setitem__(self, loc: int, state: ReplicaState) -> None:
+        d, tid, bit = self._d, self._tid, 1 << (loc + 1)
+        d._valid[tid] |= bit
+        if state is ReplicaState.MODIFIED:
+            d._mod[tid] |= bit
+        else:
+            d._mod[tid] &= ~bit
+
+    def __delitem__(self, loc: int) -> None:
+        d, tid, bit = self._d, self._tid, 1 << (loc + 1)
+        if not d._valid[tid] & bit:
+            raise KeyError(loc)
+        d._valid[tid] &= ~bit
+        d._mod[tid] &= ~bit
+
+    def __iter__(self) -> Iterator[int]:
+        m = self._d._valid[self._tid]
+        while m:
+            low = m & -m
+            yield low.bit_length() - 2  # bit index - 1 == location
+            m ^= low
+
+    def __len__(self) -> int:
+        return self._d._valid[self._tid].bit_count()
+
+
+class _TileEntryView:
+    """Mutable per-tile view mirroring the old ``_TileEntry`` attributes."""
+
+    __slots__ = ("_d", "_tid")
+
+    def __init__(self, directory: "CoherenceDirectory", tid: int) -> None:
+        self._d = directory
+        self._tid = tid
+
+    @property
+    def states(self) -> _StatesView:
+        return _StatesView(self._d, self._tid)
+
+    @property
+    def in_flight(self) -> dict[int, InFlight]:
+        return self._d._flights[self._tid]
+
+    @property
+    def generation(self) -> int:
+        return self._d._gen[self._tid]
+
+    @generation.setter
+    def generation(self, value: int) -> None:
+        self._d._gen[self._tid] = value
+
+
+class _EntriesView:
+    """``key -> entry`` accessor kept for tests that tamper on purpose."""
+
+    __slots__ = ("_d",)
+
+    def __init__(self, directory: "CoherenceDirectory") -> None:
+        self._d = directory
+
+    def __getitem__(self, key: TileKey) -> _TileEntryView:
+        return _TileEntryView(self._d, self._d.lookup(key))
+
+    def __contains__(self, key: TileKey) -> bool:
+        return key in self._d._ids
+
+    def __len__(self) -> int:
+        return len(self._d._ids)
+
+    def __iter__(self) -> Iterator[TileKey]:
+        return iter(self._d._ids)
 
 
 class CoherenceDirectory:
@@ -64,64 +180,118 @@ class CoherenceDirectory:
     """
 
     def __init__(self) -> None:
-        self._entries: dict[TileKey, _TileEntry] = {}
+        self._ids: dict[TileKey, int] = {}
+        self._tile_keys: list[TileKey] = []
+        self._valid: list[int] = []
+        self._mod: list[int] = []
+        self._gen: list[int] = []
+        self._flights: list[dict[int, InFlight]] = []
+        #: legacy per-key entry accessor (verification tests tamper through it)
+        self._entries = _EntriesView(self)
 
-    def _entry(self, key: TileKey) -> _TileEntry:
-        entry = self._entries.get(key)
-        if entry is None:
-            entry = _TileEntry(states={HOST: ReplicaState.SHARED})
-            self._entries[key] = entry
-        return entry
+    # ------------------------------------------------------------- interning
+
+    def lookup(self, key: TileKey) -> int:
+        """Dense integer id of ``key``, interning it host-valid on first use."""
+        tid = self._ids.get(key)
+        if tid is None:
+            tid = len(self._tile_keys)
+            self._ids[key] = tid
+            self._tile_keys.append(key)
+            self._valid.append(_HOST_BIT)
+            self._mod.append(0)
+            self._gen.append(0)
+            self._flights.append({})
+        return tid
+
+    # ----------------------------------------------------------- id fast path
+    #
+    # Integer-addressed forms of the hottest queries: callers doing several
+    # directory operations per event intern the key once and reuse the id.
+
+    def is_valid_id(self, tid: int, location: int) -> bool:
+        return bool(self._valid[tid] & (1 << (location + 1)))
+
+    def host_valid_id(self, tid: int) -> bool:
+        return bool(self._valid[tid] & _HOST_BIT)
+
+    def device_valid_mask(self, tid: int) -> int:
+        """Bitmask with bit ``d`` set iff device ``d`` holds a valid replica."""
+        return self._valid[tid] >> 1
+
+    def flights_map(self, tid: int) -> dict[int, InFlight]:
+        """Live ``dst -> InFlight`` map of the tile (do not mutate)."""
+        return self._flights[tid]
 
     # -------------------------------------------------------------- queries
 
     def state(self, key: TileKey, location: int) -> ReplicaState | None:
         """State of the replica at ``location`` (None == INVALID)."""
-        return self._entry(key).states.get(location)
+        tid = self.lookup(key)
+        bit = 1 << (location + 1)
+        if not self._valid[tid] & bit:
+            return None
+        return ReplicaState.MODIFIED if self._mod[tid] & bit else ReplicaState.SHARED
 
     def is_valid(self, key: TileKey, location: int) -> bool:
-        return location in self._entry(key).states
+        return bool(self._valid[self.lookup(key)] & (1 << (location + 1)))
 
     def host_valid(self, key: TileKey) -> bool:
-        return self.is_valid(key, HOST)
+        return bool(self._valid[self.lookup(key)] & _HOST_BIT)
 
     def valid_devices(self, key: TileKey) -> list[int]:
         """Device ids (host excluded) holding a valid replica, sorted."""
-        return sorted(d for d in self._entry(key).states if d != HOST)
+        out = []
+        m = self._valid[self.lookup(key)] >> 1  # strip the host bit
+        while m:
+            low = m & -m
+            out.append(low.bit_length() - 1)
+            m ^= low
+        return out
 
     def modified_location(self, key: TileKey) -> int | None:
         """Location holding the MODIFIED replica, if any."""
-        for loc, st in self._entry(key).states.items():
-            if st is ReplicaState.MODIFIED:
-                return loc
-        return None
+        m = self._mod[self.lookup(key)]
+        if not m:
+            return None
+        return (m & -m).bit_length() - 2
 
     def replica_count(self, key: TileKey) -> int:
-        return len(self._entry(key).states)
+        return self._valid[self.lookup(key)].bit_count()
 
     def generation(self, key: TileKey) -> int:
-        return self._entry(key).generation
+        return self._gen[self.lookup(key)]
 
     def keys(self) -> list[TileKey]:
         """All tiles the directory has an entry for (verification/inspection)."""
-        return list(self._entries)
+        return list(self._tile_keys)
 
     def replicas(self, key: TileKey) -> dict[int, ReplicaState]:
         """Snapshot of every replica state of the tile (location -> state)."""
-        return dict(self._entry(key).states)
+        tid = self.lookup(key)
+        mod = self._mod[tid]
+        out: dict[int, ReplicaState] = {}
+        m = self._valid[tid]
+        while m:
+            low = m & -m
+            out[low.bit_length() - 2] = (
+                ReplicaState.MODIFIED if mod & low else ReplicaState.SHARED
+            )
+            m ^= low
+        return out
 
     # ------------------------------------------------------------ in-flight
 
     def in_flight_to(self, key: TileKey, dst: int) -> InFlight | None:
-        return self._entry(key).in_flight.get(dst)
+        return self._flights[self.lookup(key)].get(dst)
 
     def flights(self, key: TileKey) -> list[InFlight]:
         """All live in-flight transfers of the tile (any destination)."""
-        return list(self._entry(key).in_flight.values())
+        return list(self._flights[self.lookup(key)].values())
 
     def earliest_flight(self, key: TileKey) -> InFlight | None:
         """The in-flight replica that completes first (optimistic heuristic)."""
-        flights = self._entry(key).in_flight
+        flights = self._flights[self.lookup(key)]
         if not flights:
             return None
         return min(flights.values(), key=lambda f: (f.completes_at, f.dst))
@@ -135,18 +305,24 @@ class CoherenceDirectory:
         that completes no later than the new transfer begins — the transfer
         manager guarantees this by chaining start times.
         """
-        entry = self._entry(key)
-        if dst in entry.states:
+        return self.begin_transfer_id(self.lookup(key), key, dst, completes_at, source)
+
+    def begin_transfer_id(
+        self, tid: int, key: TileKey, dst: int, completes_at: float, source: int
+    ) -> InFlight:
+        """Id-addressed :meth:`begin_transfer` (``key`` only feeds errors)."""
+        if self._valid[tid] & (1 << (dst + 1)):
             raise CoherenceError(f"{key}: destination {dst} already holds a replica")
-        if dst in entry.in_flight:
+        flights = self._flights[tid]
+        if dst in flights:
             raise CoherenceError(f"{key}: a transfer to {dst} is already in flight")
         flight = InFlight(
             dst=dst,
             completes_at=completes_at,
             source=source,
-            generation=entry.generation,
+            generation=self._gen[tid],
         )
-        entry.in_flight[dst] = flight
+        flights[dst] = flight
         return flight
 
     def complete_transfer(self, key: TileKey, dst: int) -> bool:
@@ -157,13 +333,18 @@ class CoherenceDirectory:
         arriving bytes are dropped, as a real runtime would discard an
         invalidated copy.
         """
-        entry = self._entry(key)
-        flight = entry.in_flight.pop(dst, None)
+        return self.complete_transfer_id(self.lookup(key), key, dst)
+
+    def complete_transfer_id(self, tid: int, key: TileKey, dst: int) -> bool:
+        """Id-addressed :meth:`complete_transfer` (``key`` only feeds errors)."""
+        flight = self._flights[tid].pop(dst, None)
         if flight is None:
             raise CoherenceError(f"{key}: no in-flight transfer to {dst}")
-        if flight.generation != entry.generation:
+        if flight.generation != self._gen[tid]:
             return False
-        entry.states[dst] = ReplicaState.SHARED
+        bit = 1 << (dst + 1)
+        self._valid[tid] |= bit
+        self._mod[tid] &= ~bit  # landing a copy installs a SHARED replica
         return True
 
     # --------------------------------------------------------------- writes
@@ -174,26 +355,31 @@ class CoherenceDirectory:
         All other replicas (host included) and all in-flight transfers are
         invalidated; the tile generation advances.
         """
-        entry = self._entry(key)
-        entry.generation += 1
-        entry.states.clear()
-        entry.in_flight.clear()
-        entry.states[location] = ReplicaState.MODIFIED
+        self.write_id(self.lookup(key), location)
+
+    def write_id(self, tid: int, location: int) -> None:
+        """Id-addressed :meth:`write`."""
+        bit = 1 << (location + 1)
+        self._gen[tid] += 1
+        self._valid[tid] = bit
+        self._mod[tid] = bit
+        self._flights[tid].clear()
 
     def downgrade(self, key: TileKey, location: int) -> None:
         """MODIFIED -> SHARED after the dirty replica has been copied elsewhere."""
-        entry = self._entry(key)
-        if entry.states.get(location) is not ReplicaState.MODIFIED:
+        tid = self.lookup(key)
+        bit = 1 << (location + 1)
+        if not (self._valid[tid] & bit and self._mod[tid] & bit):
             raise CoherenceError(f"{key}: {location} is not MODIFIED")
-        entry.states[location] = ReplicaState.SHARED
+        self._mod[tid] &= ~bit
 
     def add_shared(self, key: TileKey, location: int) -> None:
         """Install a SHARED replica directly (completion of a tracked copy)."""
-        entry = self._entry(key)
-        current = entry.states.get(location)
-        if current is ReplicaState.MODIFIED:
+        tid = self.lookup(key)
+        bit = 1 << (location + 1)
+        if self._valid[tid] & bit and self._mod[tid] & bit:
             raise CoherenceError(f"{key}: {location} already MODIFIED")
-        entry.states[location] = ReplicaState.SHARED
+        self._valid[tid] |= bit
 
     # -------------------------------------------------------------- eviction
 
@@ -205,14 +391,16 @@ class CoherenceDirectory:
         eviction policy prioritizing read-only data first makes this the
         common case.
         """
-        entry = self._entry(key)
-        state = entry.states.get(device)
-        if state is None:
+        tid = self.lookup(key)
+        bit = 1 << (device + 1)
+        valid = self._valid[tid]
+        if not valid & bit:
             raise CoherenceError(f"{key}: no replica on {device} to evict")
-        if state is ReplicaState.MODIFIED:
+        if self._mod[tid] & bit:
             raise CoherenceError(f"{key}: cannot evict MODIFIED replica on {device}")
-        del entry.states[device]
-        if not entry.states and not entry.in_flight:
+        valid &= ~bit
+        self._valid[tid] = valid
+        if not valid and not self._flights[tid]:
             raise CoherenceError(f"{key}: eviction would destroy the last replica")
 
     def discard(self, key: TileKey, device: int) -> None:
@@ -224,13 +412,16 @@ class CoherenceDirectory:
         discard would orphan the tile (no replica anywhere and nothing in
         flight).
         """
-        entry = self._entry(key)
-        if device not in entry.states:
+        tid = self.lookup(key)
+        bit = 1 << (device + 1)
+        valid = self._valid[tid]
+        if not valid & bit:
             raise CoherenceError(f"{key}: no replica on {device} to discard")
-        remaining = {loc for loc in entry.states if loc != device}
-        if not remaining and not entry.in_flight:
+        remaining = valid & ~bit
+        if not remaining and not self._flights[tid]:
             raise CoherenceError(f"{key}: discard would orphan the tile")
-        del entry.states[device]
+        self._valid[tid] = remaining
+        self._mod[tid] &= ~bit
 
     # -------------------------------------------------------------- seeding
 
@@ -240,18 +431,21 @@ class CoherenceDirectory:
         With ``exclusive`` the host replica is dropped, modelling matrices
         that live distributed in GPU memory as in §IV-C.
         """
-        entry = self._entry(key)
+        tid = self.lookup(key)
+        bit = 1 << (device + 1)
         if exclusive:
-            entry.generation += 1
-            entry.states.clear()
-            entry.in_flight.clear()
-            entry.states[device] = ReplicaState.MODIFIED
+            self._gen[tid] += 1
+            self._valid[tid] = bit
+            self._mod[tid] = bit
+            self._flights[tid].clear()
         else:
-            entry.states[device] = ReplicaState.SHARED
+            self._valid[tid] |= bit
+            self._mod[tid] &= ~bit
 
     def invalidate_device_replicas(self, key: TileKey) -> None:
         """Drop all device replicas, keeping (or restoring) host validity."""
-        entry = self._entry(key)
-        entry.generation += 1
-        entry.states = {HOST: ReplicaState.SHARED}
-        entry.in_flight.clear()
+        tid = self.lookup(key)
+        self._gen[tid] += 1
+        self._valid[tid] = _HOST_BIT
+        self._mod[tid] = 0
+        self._flights[tid].clear()

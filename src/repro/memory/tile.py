@@ -69,23 +69,43 @@ class Tile:
     key: TileKey
     view: MemoryView
     matrix: "Matrix"
+    #: bytes of a device (compact) copy and element width, precomputed from
+    #: the (immutable) view: the transfer manager and cost models consult
+    #: these once or more per task, so the property->view chase is paid once
+    #: at partition time instead.
+    nbytes: int = dataclasses.field(init=False, repr=False)
+    wordsize: int = dataclasses.field(init=False, repr=False)
+    #: block shape, copied out of the view once — the tiled builders read
+    #: ``m``/``n`` per emitted task to derive flops and dims.
+    m: int = dataclasses.field(init=False, repr=False)
+    n: int = dataclasses.field(init=False, repr=False)
+    #: memoized READ :class:`~repro.runtime.access.Access` — see
+    #: :attr:`read_access`.
+    _read_access: object = dataclasses.field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nbytes", self.view.payload_bytes)
+        object.__setattr__(self, "wordsize", self.view.wordsize)
+        object.__setattr__(self, "m", self.view.m)
+        object.__setattr__(self, "n", self.view.n)
 
     @property
-    def m(self) -> int:
-        return self.view.m
+    def read_access(self):
+        """The interned read-only :class:`~repro.runtime.access.Access`.
 
-    @property
-    def n(self) -> int:
-        return self.view.n
+        Tiled builders declare the same tile as a READ input of many tasks
+        (one A-panel tile feeds a whole block row of GEMMs); accesses are
+        immutable after construction, so every reader can share one object
+        instead of allocating per task.  Lazy import avoids a module cycle
+        (``runtime.access`` type-hints against ``memory.tile``).
+        """
+        acc = self._read_access
+        if acc is None:
+            from repro.runtime.access import Access, AccessMode
 
-    @property
-    def wordsize(self) -> int:
-        return self.view.wordsize
-
-    @property
-    def nbytes(self) -> int:
-        """Bytes of a device (compact) copy of this tile."""
-        return self.view.payload_bytes
+            acc = Access(self, AccessMode.READ)
+            object.__setattr__(self, "_read_access", acc)
+        return acc
 
     @property
     def i(self) -> int:

@@ -7,7 +7,6 @@ dependent-task model of XKaapi (paper §I, §III).
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 
 from repro.memory.tile import Tile
@@ -41,23 +40,26 @@ W = AccessMode.WRITE
 RW = AccessMode.READWRITE
 
 
-@dataclasses.dataclass(frozen=True, slots=True)
 class Access:
     """One (tile, mode) declaration of a task.
 
     ``reads``/``writes`` are materialized as plain attributes at construction
     (rather than properties chaining into enum arithmetic) — they are read on
     every dependency derivation, launch and completion.
+
+    A hand-written ``__slots__`` class rather than a frozen dataclass: builders
+    create one per operand per task (three per GEMM tile task), and the frozen
+    machinery's ``object.__setattr__`` calls tripled the construction cost of
+    the graph-build phase.  Instances are immutable by convention.
     """
 
-    tile: Tile
-    mode: AccessMode
-    reads: bool = dataclasses.field(init=False, repr=False)
-    writes: bool = dataclasses.field(init=False, repr=False)
+    __slots__ = ("tile", "mode", "reads", "writes")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "reads", self.mode.reads)
-        object.__setattr__(self, "writes", self.mode.writes)
+    def __init__(self, tile: Tile, mode: AccessMode) -> None:
+        self.tile = tile
+        self.mode = mode
+        self.reads = mode is not AccessMode.WRITE
+        self.writes = mode is not AccessMode.READ
 
     def __repr__(self) -> str:
         tag = {AccessMode.READ: "R", AccessMode.WRITE: "W", AccessMode.READWRITE: "RW"}[

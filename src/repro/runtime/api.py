@@ -33,7 +33,6 @@ from repro.memory.cache import (
 from repro.memory.coherence import CoherenceDirectory
 from repro.memory.layout import BlockCyclicDistribution, TilePartition
 from repro.memory.matrix import Matrix
-from repro.runtime.access import Access, AccessMode
 from repro.runtime.datastore import DataStore
 from repro.runtime.executor import Executor
 from repro.runtime.fabric import Fabric
@@ -210,7 +209,7 @@ class Runtime:
         for tile in part:
             task = Task(
                 name="flush",
-                accesses=[Access(tile, AccessMode.READ)],
+                accesses=[tile.read_access],
                 flops=0.0,
                 dim=tile.m,
             )
@@ -239,6 +238,9 @@ class Runtime:
             if upload:
                 self.transfer.ensure_resident(tile, dev)
             else:
+                # Register up front: the residency fast paths rely on every
+                # device-valid tile being known to the data store already.
+                self.datastore.register(tile)
                 self.directory.seed_device(tile.key, dev, exclusive=True)
                 self.caches[dev].insert(tile.key, tile.nbytes, now=self.sim.now)
                 self.caches[dev].mark_dirty(tile.key, True)

@@ -38,44 +38,76 @@ class TaskGraph:
         self._history: dict[TileKey, _TileHistory] = {}
         self.tasks: list[Task] = []
         self._edges = 0
+        self._done = 0
+        #: tasks seen entering the "ready" state, pruned lazily by
+        #: :meth:`ready_tasks`; a task becomes ready at most once, so the
+        #: buffer is append-only between queries.
+        self._ready_buffer: list[Task] = []
 
     # -------------------------------------------------------------- building
 
     def add(self, task: Task) -> Task:
-        """Insert ``task``, deriving dependencies from its accesses."""
+        """Insert ``task``, deriving dependencies from its accesses.
+
+        The dependency rule is inlined (no per-predecessor helper call): the
+        graph build runs once per task of every run, and closure dispatch per
+        edge was a visible slice of the submission phase.  Semantics per
+        predecessor: dedupe on uid (a task never depends on itself), count the
+        edge, and register a pending-count successor link unless the
+        predecessor already finished.
+        """
         if task.state != "created":
             raise TaskGraphError(f"{task!r} already belongs to a graph")
         deps: set[int] = set()  # uids, to dedupe multi-tile dependencies
+        uid = task.uid
+        edges = 0
+        unfinished = 0
 
-        def depend_on(pred: Task) -> None:
-            if pred.uid == task.uid or pred.uid in deps:
-                return
-            deps.add(pred.uid)
-            self._edges += 1
-            if pred.state == "done":
-                return  # already finished; no pending count
-            pred.successors.append(task)
-            task.unfinished_predecessors += 1
-
+        history = self._history
+        hists = []
         for access in task.accesses:
-            hist = self._history.setdefault(access.tile.key, _TileHistory())
+            key = access.tile.key
+            hist = history.get(key)
+            if hist is None:
+                hist = history[key] = _TileHistory()
+            hists.append(hist)
+            writer = hist.last_writer
             if access.writes:
-                if hist.last_writer is not None:
-                    depend_on(hist.last_writer)
+                if writer is not None and writer.uid != uid and writer.uid not in deps:
+                    deps.add(writer.uid)
+                    edges += 1
+                    if writer.state != "done":
+                        writer.successors.append(task)
+                        unfinished += 1
                 for reader in hist.readers_since_write:
-                    depend_on(reader)
-            elif hist.last_writer is not None:
-                depend_on(hist.last_writer)
+                    r = reader.uid
+                    if r != uid and r not in deps:
+                        deps.add(r)
+                        edges += 1
+                        if reader.state != "done":
+                            reader.successors.append(task)
+                            unfinished += 1
+            elif writer is not None and writer.uid != uid and writer.uid not in deps:
+                deps.add(writer.uid)
+                edges += 1
+                if writer.state != "done":
+                    writer.successors.append(task)
+                    unfinished += 1
+        self._edges += edges
+        task.unfinished_predecessors += unfinished
         # Second pass: update histories (after dependencies are computed so a
         # task touching one tile twice does not depend on itself).
-        for access in task.accesses:
-            hist = self._history[access.tile.key]
+        for access, hist in zip(task.accesses, hists):
             if access.writes:
                 hist.last_writer = task
                 hist.readers_since_write.clear()
             else:
                 hist.readers_since_write.append(task)
-        task.state = "ready" if task.unfinished_predecessors == 0 else "waiting"
+        if task.unfinished_predecessors == 0:
+            task.state = "ready"
+            self._ready_buffer.append(task)
+        else:
+            task.state = "waiting"
         self.tasks.append(task)
         return task
 
@@ -86,7 +118,15 @@ class TaskGraph:
         return self._edges
 
     def ready_tasks(self) -> list[Task]:
-        return [t for t in self.tasks if t.state == "ready"]
+        """Tasks currently in the "ready" state, in became-ready order.
+
+        Amortized O(ready): the buffer only ever receives a task once (when
+        it becomes ready) and entries that moved on are dropped here, instead
+        of rescanning every task in the graph per query.
+        """
+        still_ready = [t for t in self._ready_buffer if t.state == "ready"]
+        self._ready_buffer = still_ready
+        return list(still_ready)
 
     def last_writer(self, key: TileKey) -> Task | None:
         hist = self._history.get(key)
@@ -97,6 +137,7 @@ class TaskGraph:
         if task.state == "done":
             raise TaskGraphError(f"{task!r} completed twice")
         task.state = "done"
+        self._done += 1
         newly_ready: list[Task] = []
         for succ in task.successors:
             succ.unfinished_predecessors -= 1
@@ -105,10 +146,11 @@ class TaskGraph:
             if succ.unfinished_predecessors == 0 and succ.state == "waiting":
                 succ.state = "ready"
                 newly_ready.append(succ)
+        self._ready_buffer.extend(newly_ready)
         return newly_ready
 
     def all_done(self) -> bool:
-        return all(t.state == "done" for t in self.tasks)
+        return self._done == len(self.tasks)
 
     def critical_path_priorities(self) -> None:
         """Assign each task a priority = longest flop path to a sink.

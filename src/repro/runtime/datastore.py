@@ -77,9 +77,12 @@ class DataStore:
         No-op in perf mode.  Host -> device compacts the LAPACK view into a
         dense array; device -> host scatters it back into the matrix.
         """
-        self.register(tile)
-        if not self._numeric(tile):
+        if not tile.matrix.numeric:
+            # Perf mode: nothing to move, and the tile was already registered
+            # when its transfer was issued — skip the idempotent re-register
+            # on this per-completion-event path.
             return
+        self.register(tile)
         if src == dst:
             return
         if src == HOST:

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.errors import SchedulingError
+from repro.errors import CoherenceError, SchedulingError
+from repro.memory.coherence import ReplicaState
 from repro.runtime.dataflow import TaskGraph
 from repro.runtime.scheduler.base import Scheduler, SchedulerContext
 from repro.runtime.task import Task
@@ -93,15 +94,21 @@ class Executor:
             platform=platform,
             directory=transfer.directory,
             transfer=transfer,
-            device_load=lambda dev: max(
-                0.0, self.workers[dev].streams[0].busy_until - self.sim.now
-            ),
+            device_load=self._device_load,
+            device_idle=self._device_idle,
+            device_loads=self._device_loads,
         )
         self._submit_clock = 0.0
         self._wake_origin = 0
         self._submitted: set[int] = set()
         self._completed = 0
         self._flush_tasks: set[int] = set()
+        self._all_workers_mask = (1 << len(self.workers)) - 1
+        self._loads_buf = [0.0] * len(self.workers)
+        #: memoized GpuSpec.kernel_time keyed on its full argument tuple —
+        #: tiled graphs repeat a handful of (flops, dim) shapes thousands of
+        #: times, and the efficiency-curve arithmetic is pure.
+        self._kernel_time_cache: dict[tuple, float] = {}
 
     # ------------------------------------------------------------ submission
 
@@ -111,7 +118,7 @@ class Executor:
         if is_flush:
             self._flush_tasks.add(task.uid)
         self._submit_clock = max(self._submit_clock, self.sim.now) + self.task_overhead
-        self.sim.schedule(self._submit_clock, self._mark_submitted, task)
+        self.sim.post(self._submit_clock, self._mark_submitted, task)
         return task
 
     def _mark_submitted(self, task: Task) -> None:
@@ -137,7 +144,7 @@ class Executor:
         task.device = None
         task.start_time = self.sim.now
         task.state = "running"
-        self.sim.schedule(end, self._complete_flush, task, end)
+        self.sim.post(end, self._complete_flush, task, end)
 
     def _complete_flush(self, task: Task, end: float) -> None:
         task.end_time = end
@@ -151,27 +158,92 @@ class Executor:
         # window before its peers get a turn.  The scan origin rotates across
         # calls — with a fixed origin, tasks released one at a time would
         # always land on the lowest-numbered eligible worker and starve the
-        # tail of the worker array.
-        self._wake_origin = (self._wake_origin + 1) % len(self.workers)
-        order = self.workers[self._wake_origin:] + self.workers[: self._wake_origin]
+        # tail of the worker array.  (The rotation advances on every call,
+        # launches or not: the origin sequence is part of the recorded
+        # schedules.)
+        #
+        # Incremental wake: instead of a pop attempt per worker per round,
+        # each round consults the scheduler's owned-work mask plus its
+        # stealable-work flag and only pops for devices that could actually
+        # be served — owners of queued work always, everyone else only while
+        # idle and something is stealable.  A worker whose pop returned None
+        # (or whose window filled, or that failed the idle gate) is retired
+        # from this wake via the ``dead`` mask — no event between here and
+        # the next launch can change its answer: nothing is pushed during a
+        # wake, pops only remove tasks, device loads only grow when their own
+        # deque drains, and idleness only decays as windows fill.
+        workers = self.workers
+        n = len(workers)
+        self._wake_origin = (self._wake_origin + 1) % n
+        origin = self._wake_origin
         scheduler = self.scheduler
+        ctx = self.ctx
+        now = self.sim.now  # frozen for the whole wake
+        ready_mask = scheduler.ready_device_mask
+        stealable = scheduler.has_stealable_work
+        pop = scheduler.pop
+        dead = 0
         progress = True
         while progress:
             progress = False
-            if scheduler.empty():
-                break  # nothing to hand out; skip the per-worker pop round
-            for worker in order:
+            owned = ready_mask(ctx)
+            if stealable(ctx):
+                avail = self._all_workers_mask & ~dead
+            else:
+                avail = owned & ~dead
+            if not avail:
+                break
+            # Rotated-bitmask scan: visit exactly the set bits of ``avail``,
+            # starting at ``origin`` and wrapping — the same visit order as an
+            # index loop over all n workers, but skipping the unavailable ones
+            # costs nothing instead of a mask test each.
+            rot = ((avail >> origin) | (avail << (n - origin))) & self._all_workers_mask
+            while rot:
+                low = rot & -rot
+                rot ^= low
+                idx = low.bit_length() - 1 + origin
+                if idx >= n:
+                    idx -= n
+                worker = workers[idx]
+                bit = 1 << worker.device
                 if worker.inflight >= worker.window:
+                    dead |= bit  # windows only fill during a wake
                     continue
-                task = scheduler.pop(
-                    worker.device, self.ctx, idle=self._compute_idle(worker)
-                )
+                if owned & bit:
+                    task = pop(worker.device, ctx)
+                elif (
+                    worker.inflight < worker.steal_threshold
+                    or worker.streams[0].busy_until <= now
+                ):  # _device_idle, inlined on the hottest loop of the runtime
+                    task = pop(worker.device, ctx, idle=True)
+                else:
+                    dead |= bit  # idleness only decays during a wake
+                    continue
                 if task is None:
+                    dead |= bit
                     continue
                 self._launch(task, worker)
                 progress = True
 
-    def _compute_idle(self, worker: _Worker) -> bool:
+    def _device_load(self, dev: int) -> float:
+        """Compute backlog (seconds of queued kernels) of device ``dev``."""
+        load = self.workers[dev].streams[0].busy_until - self.sim.now
+        return load if load > 0.0 else 0.0
+
+    def _device_loads(self) -> list[float]:
+        """All device backlogs at once (bulk form of :meth:`_device_load`).
+
+        Returns a buffer reused across calls — callers must consume it before
+        the next call (the schedulers read it synchronously inside ``push``).
+        """
+        now = self.sim.now
+        buf = self._loads_buf
+        for i, worker in enumerate(self.workers):
+            load = worker.streams[0].busy_until - now
+            buf[i] = load if load > 0.0 else 0.0
+        return buf
+
+    def _device_idle(self, dev: int) -> bool:
         """A worker may steal while it is starving (little work in flight).
 
         Tasks in flight that are still waiting on transfers do not make the
@@ -179,40 +251,49 @@ class Executor:
         — but a worker with a few tasks enqueued ahead stops raiding, which
         bounds hoarding while preserving transfer/compute pipelining.
         """
-        if worker.streams[0].busy_until <= self.sim.now:
-            return True
-        return worker.inflight < worker.steal_threshold
+        worker = self.workers[dev]
+        return (
+            worker.inflight < worker.steal_threshold
+            or worker.streams[0].busy_until <= self.sim.now
+        )
 
     def _launch(self, task: Task, worker: _Worker) -> None:
         dev = worker.device
         task.device = dev
         task.state = "running"
         worker.inflight += 1
-        protect = tuple(a.tile.key for a in task.accesses)
-        inputs_ready = self.sim.now + self.pop_overhead
+        protect = task.access_keys
+        now = self.sim.now
+        transfer = self.transfer
+        cache = transfer.caches[dev]
+        inputs_ready = now + self.pop_overhead
         transfer_cost = 0.0
         pinned = []
         for access in task.accesses:
             if access.reads:
-                before = self.sim.now
-                ready = self.transfer.ensure_resident(
-                    access.tile, dev, earliest=self.sim.now, protect=protect
+                ready = transfer.ensure_resident(
+                    access.tile, dev, earliest=now, protect=protect
                 )
-                transfer_cost += max(0.0, ready - before)
-                inputs_ready = max(inputs_ready, ready)
-                cache = self.transfer.caches[dev]
-                if access.tile.key in cache:
-                    cache.pin(access.tile.key)
-                    pinned.append(access.tile.key)
+                if ready > now:
+                    transfer_cost += ready - now
+                if ready > inputs_ready:
+                    inputs_ready = ready
+                key = access.tile.key
+                if cache.pin_if_resident(key):
+                    pinned.append(key)
             else:  # WRITE-only output
-                ready = self.transfer.allocate_output(access.tile, dev, self.sim.now)
-                inputs_ready = max(inputs_ready, ready)
+                ready = transfer.allocate_output(access.tile, dev, now)
+                if ready > inputs_ready:
+                    inputs_ready = ready
 
-        spec = self.platform.gpus[dev]
-        duration = spec.kernel_time(
-            task.flops, task.dim, wordsize=task.output_tile.wordsize,
-            regularity=task.regularity,
-        )
+        kt_key = (dev, task.flops, task.dim, task.output_tile.wordsize, task.regularity)
+        duration = self._kernel_time_cache.get(kt_key)
+        if duration is None:
+            duration = self._kernel_time_cache[kt_key] = self.platform.gpus[
+                dev
+            ].kernel_time(
+                task.flops, task.dim, wordsize=kt_key[3], regularity=task.regularity
+            )
         streams = worker.streams
         stream = (
             streams[0]
@@ -229,17 +310,15 @@ class Executor:
         task.start_time = start
         task.end_time = end
         self.trace.record(TraceCategory.KERNEL, dev, start, end, task.name)
-        self.sim.schedule(end, self._complete_task, task, worker, tuple(pinned))
+        self.sim.post(end, self._complete_task, task, worker, pinned)
 
-    def _complete_task(self, task: Task, worker: _Worker, pinned: tuple) -> None:
+    def _complete_task(self, task: Task, worker: _Worker, pinned: list) -> None:
         """Kernel-completion event: writes registered, pins dropped, wake-up."""
         self._execute_numeric(task)
         for access in task.accesses:
             if access.writes:
                 self.transfer.register_write(access.tile, worker.device, self.sim.now)
-        cache = self.transfer.caches[worker.device]
-        for key in pinned:
-            cache.unpin(key)
+        self.transfer.caches[worker.device].unpin_many(pinned)
         if not self.retain_inputs:
             self._drop_clean_inputs(task, worker.device)
         if self.transfer.sanitizer is not None:
@@ -250,9 +329,6 @@ class Executor:
 
     def _drop_clean_inputs(self, task: Task, device: int) -> None:
         """Batched-workspace model: free read-only staging tiles after use."""
-        from repro.errors import CoherenceError
-        from repro.memory.coherence import ReplicaState
-
         directory = self.transfer.directory
         cache = self.transfer.caches[device]
         for access in task.accesses:
@@ -271,7 +347,9 @@ class Executor:
             self.transfer.datastore.drop_device_tile(key, device)
 
     def _execute_numeric(self, task: Task) -> None:
-        if task.kernel is None:
+        # Cheap perf-mode bail: the output tile is one of the accesses, so if
+        # its matrix carries no array the all() below is False anyway.
+        if task.kernel is None or not task.output_tile.matrix.numeric:
             return
         if not all(a.tile.matrix.numeric for a in task.accesses):
             return  # perf mode

@@ -34,10 +34,29 @@ class SchedulerContext:
     #: compute backlog (seconds of queued kernels) per device; wired by the
     #: executor so load-aware policies can see starvation.
     device_load: "typing.Callable[[int], float]" = lambda dev: 0.0
+    #: is the device idle (nothing in flight / below its steal threshold)?
+    #: Wired by the executor; schedulers resolve it lazily so the answer is
+    #: only computed for workers whose own queue came up empty.
+    device_idle: "typing.Callable[[int], bool]" = lambda dev: True
+    #: bulk form of :attr:`device_load`: every device's backlog in one call,
+    #: indexed by device id.  ``None`` (the default) means not wired —
+    #: policies must fall back to per-device ``device_load``, which keeps
+    #: tests that stub ``device_load`` alone honest.
+    device_loads: "typing.Callable[[], list[float]] | None" = None
+    #: memoized :meth:`kernel_estimate` results — tiled graphs repeat a few
+    #: (flops, dim, regularity) shapes across thousands of pushes, and the
+    #: efficiency-curve arithmetic is pure per device.
+    _kernel_time_cache: dict = dataclasses.field(default_factory=dict)
 
     def kernel_estimate(self, task: Task, device: int) -> float:
-        spec = self.platform.gpus[device]
-        return spec.kernel_time(task.flops, task.dim, regularity=task.regularity)
+        key = (device, task.flops, task.dim, task.regularity)
+        est = self._kernel_time_cache.get(key)
+        if est is None:
+            spec = self.platform.gpus[device]
+            est = self._kernel_time_cache[key] = spec.kernel_time(
+                task.flops, task.dim, regularity=task.regularity
+            )
+        return est
 
     def locality_bytes(self, task: Task, device: int) -> int:
         """Bytes of ``task``'s inputs already valid (or in flight) on ``device``."""
@@ -74,18 +93,25 @@ class Scheduler(abc.ABC):
     def __init__(self, num_devices: int) -> None:
         self.num_devices = num_devices
         self.scheduled = 0
+        #: bitmask with every device bit set; basis for ready-device masks.
+        self._all_mask = (1 << num_devices) - 1
 
     @abc.abstractmethod
     def push(self, task: Task, ctx: SchedulerContext) -> None:
         """Accept a task that became schedulable."""
 
     @abc.abstractmethod
-    def pop(self, device: int, ctx: SchedulerContext, idle: bool = True) -> Task | None:
+    def pop(
+        self, device: int, ctx: SchedulerContext, idle: bool | None = None
+    ) -> Task | None:
         """Serve one task for ``device``, or ``None`` when nothing suits it.
 
         ``idle`` is True when the device has no task in flight; work-stealing
         schedulers only steal for idle devices (a busy worker enqueues ahead
-        from its own deque but does not raid its neighbours).
+        from its own deque but does not raid its neighbours).  ``None`` means
+        "not computed yet": schedulers that care resolve it on demand through
+        ``ctx.device_idle``, so the common own-queue hit skips the idleness
+        computation entirely.
         """
 
     @abc.abstractmethod
@@ -101,6 +127,28 @@ class Scheduler(abc.ABC):
         queues should override with a direct truth test.
         """
         return self.pending() == 0
+
+    def ready_device_mask(self, ctx: SchedulerContext) -> int:
+        """Bitmask of devices :meth:`pop` could serve *regardless of idleness*.
+
+        A conservative superset is fine — the executor still calls ``pop``
+        and tolerates ``None`` — but a device whose bit is clear is a promise:
+        popping for it (unless it is idle and :meth:`has_stealable_work`)
+        would return ``None``, so the wake loop skips it without the call.
+        The default is all-or-nothing on :meth:`empty`; indexed schedulers
+        override with their per-device non-empty masks.
+        """
+        return 0 if self.empty() else self._all_mask
+
+    def has_stealable_work(self, ctx: SchedulerContext) -> bool:
+        """Could an *idle* device outside :meth:`ready_device_mask` get work?
+
+        Work-stealing schedulers return True while their shared queue is
+        non-empty or a peer deque is raidable; everyone else keeps the
+        default False, which lets the executor's wake loop skip busy workers
+        with no owned work without a pop attempt each.
+        """
+        return False
 
     def on_complete(self, task: Task, ctx: SchedulerContext) -> None:
         """Completion hook (optional; e.g. performance-model updates)."""

@@ -45,6 +45,8 @@ class DmdaScheduler(Scheduler):
         #: expected time at which each worker drains its assigned queue
         self._avail = [0.0] * num_devices
         self._now = 0.0
+        #: bit ``d`` set iff ``_queues[d]`` is non-empty
+        self._nonempty_mask = 0
 
     # -------------------------------------------------------------- placing
 
@@ -79,15 +81,21 @@ class DmdaScheduler(Scheduler):
                 best_dev, best_ect = dev, ect
         self._avail[best_dev] = best_ect
         heapq.heappush(self._queues[best_dev], (-task.priority, next(self._seq), task))
+        self._nonempty_mask |= 1 << best_dev
 
     # -------------------------------------------------------------- serving
 
-    def pop(self, device: int, ctx: SchedulerContext, idle: bool = True) -> Task | None:
+    def pop(
+        self, device: int, ctx: SchedulerContext, idle: bool | None = None
+    ) -> Task | None:
         queue = self._queues[device]
         if not queue:
             return None
         self.scheduled += 1
-        return heapq.heappop(queue)[2]
+        task = heapq.heappop(queue)[2]
+        if not queue:
+            self._nonempty_mask &= ~(1 << device)
+        return task
 
     def on_complete(self, task: Task, ctx: SchedulerContext) -> None:
         # Re-anchor availability on observed completions so estimates do not
@@ -98,3 +106,9 @@ class DmdaScheduler(Scheduler):
 
     def pending(self) -> int:
         return sum(len(q) for q in self._queues)
+
+    def empty(self) -> bool:
+        return not self._nonempty_mask
+
+    def ready_device_mask(self, ctx: SchedulerContext) -> int:
+        return self._nonempty_mask

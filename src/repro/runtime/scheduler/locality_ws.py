@@ -38,6 +38,8 @@ class LocalityWorkStealing(Scheduler):
         #: XKaapi distribution mechanism, and the source of the SYR2K
         #: imbalance the paper analyses (§IV-E).
         self._host_queue: deque[Task] = deque()
+        #: bit ``d`` set iff ``_deques[d]`` is non-empty (kept by push/pop).
+        self._deque_mask = 0
         self.steal_from_richest = steal_from_richest
         self.steals = 0
 
@@ -77,20 +79,43 @@ class LocalityWorkStealing(Scheduler):
         # is what keeps wavefront-shaped graphs (TRMM) from strangling on a
         # few owner devices.
         est = ctx.kernel_estimate(task, dev)
-        owner_load = ctx.device_load(dev)
-        min_load = min(ctx.device_load(d) for d in range(self.num_devices))
+        loads_fn = ctx.device_loads
+        if loads_fn is not None:
+            # Bulk query: one call for all backlogs.  min() over the full list
+            # equals the owner/others split below because the owner's load is
+            # a member of both.
+            loads = loads_fn()
+            owner_load = loads[dev]
+            min_load = min(loads)
+        else:
+            device_load = ctx.device_load
+            owner_load = device_load(dev)
+            min_load = owner_load
+            for d in range(self.num_devices):
+                if d != dev:
+                    load = device_load(d)
+                    if load < min_load:
+                        min_load = load
         if owner_load - min_load > 4.0 * est and min_load < est:
             self._host_queue.append(task)
         else:
             self._deques[dev].append(task)
+            self._deque_mask |= 1 << dev
 
     # -------------------------------------------------------------- serving
 
-    def pop(self, device: int, ctx: SchedulerContext, idle: bool = True) -> Task | None:
+    def pop(
+        self, device: int, ctx: SchedulerContext, idle: bool | None = None
+    ) -> Task | None:
         own = self._deques[device]
         if own:
             self.scheduled += 1
-            return own.pop()  # LIFO on own deque
+            task = own.pop()  # LIFO on own deque
+            if not own:
+                self._deque_mask &= ~(1 << device)
+            return task
+        if idle is None:
+            idle = ctx.device_idle(device)
         if not idle:
             return None  # busy workers do not steal
         if self._host_queue:
@@ -102,7 +127,11 @@ class LocalityWorkStealing(Scheduler):
             return None
         self.steals += 1
         self.scheduled += 1
-        return self._deques[victim].popleft()  # FIFO steal
+        raided = self._deques[victim]
+        task = raided.popleft()  # FIFO steal
+        if not raided:
+            self._deque_mask &= ~(1 << victim)
+        return task
 
     def _steal_from_host_queue(self, device: int, ctx: SchedulerContext) -> Task:
         """FIFO steal from the spawning thread's queue.
@@ -125,12 +154,12 @@ class LocalityWorkStealing(Scheduler):
         ping-pong).
         """
         best, best_len = None, 0
-        for dev in range(self.num_devices):
-            if dev == thief:
-                continue
+        m = self._deque_mask & ~(1 << thief)
+        while m:
+            low = m & -m
+            m ^= low
+            dev = low.bit_length() - 1
             size = len(self._deques[dev])
-            if size == 0:
-                continue
             if size == 1 and ctx.device_load(dev) <= 0.0:
                 continue  # the idle owner is about to take it anyway
             if self.steal_from_richest:
@@ -144,7 +173,26 @@ class LocalityWorkStealing(Scheduler):
         return sum(len(d) for d in self._deques) + len(self._host_queue)
 
     def empty(self) -> bool:
-        return not self._host_queue and not any(self._deques)
+        return not self._host_queue and not self._deque_mask
+
+    def ready_device_mask(self, ctx: SchedulerContext) -> int:
+        """Owners of non-empty deques (served whether idle or not)."""
+        return self._deque_mask
+
+    def has_stealable_work(self, ctx: SchedulerContext) -> bool:
+        """Shared queue non-empty, or a deque is raidable per the
+        :meth:`_choose_victim` feasibility rule — then any idle peer can get
+        work beyond its own deque."""
+        if self._host_queue:
+            return True
+        m = self._deque_mask
+        while m:
+            low = m & -m
+            m ^= low
+            dev = low.bit_length() - 1
+            if len(self._deques[dev]) > 1 or ctx.device_load(dev) > 0.0:
+                return True
+        return False
 
     def queue_sizes(self) -> list[int]:
         return [len(d) for d in self._deques]

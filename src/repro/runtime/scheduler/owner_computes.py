@@ -37,6 +37,7 @@ class OwnerComputesScheduler(Scheduler):
         else:
             self._owner_of = self._hint_owner
         self._queues: list[deque[Task]] = [deque() for _ in range(num_devices)]
+        self._nonempty_mask = 0
 
     @staticmethod
     def _hint_owner(task: Task) -> int:
@@ -51,13 +52,25 @@ class OwnerComputesScheduler(Scheduler):
         if not 0 <= dev < self.num_devices:
             raise SchedulingError(f"{task!r}: owner {dev} out of range")
         self._queues[dev].append(task)
+        self._nonempty_mask |= 1 << dev
 
-    def pop(self, device: int, ctx: SchedulerContext, idle: bool = True) -> Task | None:
+    def pop(
+        self, device: int, ctx: SchedulerContext, idle: bool | None = None
+    ) -> Task | None:
         queue = self._queues[device]
         if not queue:
             return None
         self.scheduled += 1
-        return queue.popleft()
+        task = queue.popleft()
+        if not queue:
+            self._nonempty_mask &= ~(1 << device)
+        return task
 
     def pending(self) -> int:
         return sum(len(q) for q in self._queues)
+
+    def empty(self) -> bool:
+        return not self._nonempty_mask
+
+    def ready_device_mask(self, ctx: SchedulerContext) -> int:
+        return self._nonempty_mask

@@ -22,6 +22,7 @@ class RoundRobinScheduler(Scheduler):
         super().__init__(num_devices)
         self._queues: list[deque[Task]] = [deque() for _ in range(num_devices)]
         self._next = 0
+        self._nonempty_mask = 0
 
     def push(self, task: Task, ctx: SchedulerContext) -> None:
         if task.owner_hint is not None:
@@ -30,13 +31,25 @@ class RoundRobinScheduler(Scheduler):
             dev = self._next
             self._next = (self._next + 1) % self.num_devices
         self._queues[dev].append(task)
+        self._nonempty_mask |= 1 << dev
 
-    def pop(self, device: int, ctx: SchedulerContext, idle: bool = True) -> Task | None:
+    def pop(
+        self, device: int, ctx: SchedulerContext, idle: bool | None = None
+    ) -> Task | None:
         queue = self._queues[device]
         if not queue:
             return None
         self.scheduled += 1
-        return queue.popleft()
+        task = queue.popleft()
+        if not queue:
+            self._nonempty_mask &= ~(1 << device)
+        return task
 
     def pending(self) -> int:
         return sum(len(q) for q in self._queues)
+
+    def empty(self) -> bool:
+        return not self._nonempty_mask
+
+    def ready_device_mask(self, ctx: SchedulerContext) -> int:
+        return self._nonempty_mask

@@ -61,6 +61,14 @@ class Task:
     owner_hint: int | None = None
 
     # --- fields managed by the runtime ---
+    #: keys of every accessed tile, precomputed once (accesses are immutable
+    #: after construction); the executor passes this as the eviction-protect
+    #: set on every input transfer instead of rebuilding the tuple per launch.
+    access_keys: tuple = ()
+    #: the first written tile (first access for reads-only tasks) — the
+    #: owner-computes anchor, precomputed for the same reason as
+    #: ``access_keys``: the schedulers read it on every push.
+    output_tile: Tile | None = None
     uid: int = dataclasses.field(default_factory=lambda: next(_task_ids))
     unfinished_predecessors: int = 0
     successors: list["Task"] = dataclasses.field(default_factory=list)
@@ -74,6 +82,14 @@ class Task:
             raise TaskGraphError(f"task {self.name}: negative flops")
         if not self.accesses:
             raise TaskGraphError(f"task {self.name}: a task must access data")
+        keys = []
+        out = None
+        for a in self.accesses:
+            keys.append(a.tile.key)
+            if out is None and a.writes:
+                out = a.tile
+        self.access_keys = tuple(keys)
+        self.output_tile = out if out is not None else self.accesses[0].tile
 
     # -------------------------------------------------------------- queries
 
@@ -89,17 +105,6 @@ class Task:
     def input_bytes(self) -> int:
         """Bytes a device must hold valid before the kernel can start."""
         return sum(a.tile.nbytes for a in self.accesses if a.reads)
-
-    @property
-    def output_tile(self) -> Tile:
-        """The first written tile — the owner-computes anchor.
-
-        Reads-only tasks (host flushes) anchor on their first access.
-        """
-        for a in self.accesses:
-            if a.writes:
-                return a.tile
-        return self.accesses[0].tile
 
     def run_numeric(self, arrays: Sequence[np.ndarray]) -> None:
         """Execute the numeric kernel over the device arrays."""

@@ -134,36 +134,37 @@ class TransferManager:
         now = self.sim.now if earliest is None else max(self.sim.now, earliest)
         key = tile.key
         cache = self.caches[dst]
-        self.datastore.register(tile)
+        directory = self.directory
 
-        if self.directory.is_valid(key, dst):
-            cache.record_access(key)
-            cache.touch(key, now)
+        tid = directory.lookup(key)
+        if directory.is_valid_id(tid, dst):
+            # A replica valid on a device was transferred or seeded there, so
+            # the tile is already registered — the fast paths skip that call.
+            cache.access_hit(key, now)
             return now
 
-        flight = self.directory.in_flight_to(key, dst)
+        flight = directory.flights_map(tid).get(dst)
         if flight is not None:
             cache.record_access(key)
             return max(now, flight.completes_at)
 
-        cache.record_access(key)
-        if key in cache and not self.directory.is_valid(key, dst):
-            # Stale bytes left by a same-instant invalidation while pinned.
+        self.datastore.register(tile)
+        if cache.record_access(key):
+            # Resident but not valid and not in flight: stale bytes left by a
+            # same-instant invalidation while pinned.
             cache.remove(key)
             self.datastore.drop_device_tile(key, dst)
-        source, source_ready = self._select_source(key, dst, now)
+        source, source_ready = self._select_source(key, dst, now, tid)
         alloc_ready = self._make_room(dst, tile.nbytes, now, protect=protect)
         if source == HOST:
             source_ready = max(source_ready, self._ensure_pinned(tile, now))
         start_lb = max(now, source_ready, alloc_ready)
         start, end = self.fabric.reserve(source, dst, tile.nbytes, start_lb)
-        self.directory.begin_transfer(key, dst, completes_at=end, source=source)
+        directory.begin_transfer_id(tid, key, dst, completes_at=end, source=source)
         cache.insert(key, tile.nbytes, now=end)
         cache.pin(key)  # protect until landed; unpinned in the completion event
         # Pin the source replica too: a DMA must not read a freed buffer.
-        src_pinned = source != HOST and key in self.caches[source]
-        if src_pinned:
-            self.caches[source].pin(key)
+        src_pinned = source != HOST and self.caches[source].pin_if_resident(key)
         if source == HOST:
             self.h2d_transfers += 1
             self.trace.record(
@@ -177,21 +178,28 @@ class TransferManager:
                 lambda: f"p2p {source}->{dst} {key}", tile.nbytes,
             )
 
-        self.sim.schedule(end, self._complete_d2d, tile, source, dst, src_pinned)
+        self.sim.post(end, self._complete_d2d, tile, tid, source, dst, src_pinned)
         self.sanitize(key)
         return end
 
-    def _complete_d2d(self, tile: Tile, source: int, dst: int, src_pinned: bool) -> None:
-        """Completion event of a transfer landed on device ``dst``."""
+    def _complete_d2d(
+        self, tile: Tile, tid: int, source: int, dst: int, src_pinned: bool
+    ) -> None:
+        """Completion event of a transfer landed on device ``dst``.
+
+        ``tid`` is the directory id interned when the transfer was issued —
+        ids are stable for the lifetime of the directory, so the completion
+        event reuses it instead of re-hashing the key.
+        """
         key = tile.key
         cache = self.caches[dst]
-        landed = self.directory.complete_transfer(key, dst)
+        landed = self.directory.complete_transfer_id(tid, key, dst)
         cache.unpin(key)
-        if src_pinned and key in self.caches[source]:
-            self.caches[source].unpin(key)
+        if src_pinned:
+            self.caches[source].unpin_if_resident(key)
         if landed:
             self.datastore.copy_tile(tile, source, dst)
-            self._refresh_shared_flags(key)
+            self._refresh_shared_flags(key, tid)
         else:
             # Invalidated mid-flight by a writer: drop the stale bytes.
             cache.remove(key)
@@ -202,20 +210,44 @@ class TransferManager:
         """The no-ranking pseudo-random pick, keyed on run-local state only."""
         return _mix(self.datastore.matrix_index(key.matrix_id), key.i, key.j, dst)
 
-    def _select_source(self, key: TileKey, dst: int, now: float) -> tuple[int, float]:
-        """Pick ``(source_location, source_ready_time)`` per the active policy."""
-        candidates = [d for d in self.directory.valid_devices(key) if d != dst]
-        if candidates and self.policy.uses_device_sources:
+    def _select_source(
+        self, key: TileKey, dst: int, now: float, tid: int
+    ) -> tuple[int, float]:
+        """Pick ``(source_location, source_ready_time)`` per the active policy.
+
+        ``tid`` is the directory id of ``key`` — the caller already interned
+        it, so this path never re-hashes the key against the directory.
+        """
+        directory = self.directory
+        dmask = directory.device_valid_mask(tid) & ~(1 << dst)
+        if dmask and self.policy.uses_device_sources:
             if self.policy.topology_aware:
                 # Equivalent to Platform.peers_by_rank(dst, candidates)[0]
                 # (min over the same (rank, device-id) key), without
-                # re-sorting per transfer.
-                best = min(candidates, key=self._rank_key[dst].__getitem__)
+                # re-sorting per transfer — iterating the valid-device
+                # bitmask directly, no candidate list built.
+                rank = self._rank_key[dst]
+                best = -1
+                best_rank: tuple[int, int] | None = None
+                m = dmask
+                while m:
+                    low = m & -m
+                    m ^= low
+                    d = low.bit_length() - 1
+                    r = rank[d]
+                    if best_rank is None or r < best_rank:
+                        best, best_rank = d, r
             else:
                 # "No ranking" = whichever replica the runtime happens to find
                 # first; modelled as a deterministic pseudo-random pick so no
                 # artificial hot source emerges (the paper's no-topo variant
                 # is link-class-blind, not systematically biased).
+                candidates = []
+                m = dmask
+                while m:
+                    low = m & -m
+                    m ^= low
+                    candidates.append(low.bit_length() - 1)
                 best = candidates[self._tile_mix(key, dst) % len(candidates)]
             self.caches[best].touch(key, now)
             return best, now
@@ -230,7 +262,7 @@ class TransferManager:
             host_eta = self.fabric.estimate(HOST, dst, nbytes, now)
             best_flight = None
             best_eta = host_eta
-            for flight in self.directory.flights(key):
+            for flight in directory.flights_map(tid).values():
                 if flight.dst == dst or flight.dst == HOST:
                     continue
                 eta = self.fabric.estimate(
@@ -242,9 +274,9 @@ class TransferManager:
                 self.optimistic_forwards += 1
                 return best_flight.dst, best_flight.completes_at
         # Fall back to the host.
-        if self.directory.host_valid(key):
+        if directory.host_valid_id(tid):
             return HOST, now
-        host_flight = self.directory.in_flight_to(key, HOST)
+        host_flight = directory.flights_map(tid).get(HOST)
         if host_flight is not None:
             return HOST, host_flight.completes_at
         return HOST, self.ensure_host_valid(self.datastore.tile(key), now)
@@ -278,10 +310,17 @@ class TransferManager:
         A read-only estimate used by cost-model schedulers (DMDAS); mirrors
         :meth:`_select_source` without touching any state.
         """
-        if self.directory.is_valid(key, dst):
+        tid = self.directory.lookup(key)
+        if self.directory.is_valid_id(tid, dst):
             return dst, float("inf")
-        candidates = [d for d in self.directory.valid_devices(key) if d != dst]
-        if candidates and self.policy.uses_device_sources:
+        dmask = self.directory.device_valid_mask(tid) & ~(1 << dst)
+        if dmask and self.policy.uses_device_sources:
+            candidates = []
+            m = dmask
+            while m:
+                low = m & -m
+                m ^= low
+                candidates.append(low.bit_length() - 1)
             if self.policy.topology_aware:
                 src = min(candidates, key=self._rank_key[dst].__getitem__)
             else:
@@ -299,21 +338,22 @@ class TransferManager:
         """
         now = self.sim.now if earliest is None else max(self.sim.now, earliest)
         key = tile.key
-        if self.directory.host_valid(key):
+        tid = self.directory.lookup(key)
+        if self.directory.host_valid_id(tid):
             return now
-        flight = self.directory.in_flight_to(key, HOST)
+        flight = self.directory.flights_map(tid).get(HOST)
         if flight is not None:
             return max(now, flight.completes_at)
         source = self.directory.modified_location(key)
         if source is None:
-            devices = self.directory.valid_devices(key)
-            if not devices:
+            dmask = self.directory.device_valid_mask(tid)
+            if not dmask:
                 raise CoherenceError(f"{key}: no valid replica anywhere")
-            source = devices[0]
+            source = (dmask & -dmask).bit_length() - 1
         if source == HOST:  # pragma: no cover - host_valid already checked
             return now
         start, end = self.fabric.reserve_d2h(source, tile.nbytes, now)
-        self.directory.begin_transfer(key, HOST, completes_at=end, source=source)
+        self.directory.begin_transfer_id(tid, key, HOST, completes_at=end, source=source)
         src_pinned = key in self.caches[source]
         if src_pinned:
             self.caches[source].touch(key, now)
@@ -324,16 +364,18 @@ class TransferManager:
             lambda: f"d2h {key}", tile.nbytes,
         )
 
-        self.sim.schedule(end, self._complete_d2h, tile, source, src_pinned)
+        self.sim.post(end, self._complete_d2h, tile, tid, source, src_pinned)
         self.sanitize(key)
         return end
 
-    def _complete_d2h(self, tile: Tile, source: int, src_pinned: bool) -> None:
+    def _complete_d2h(
+        self, tile: Tile, tid: int, source: int, src_pinned: bool
+    ) -> None:
         """Completion event of a write-back landed on the host."""
         key = tile.key
-        landed = self.directory.complete_transfer(key, HOST)
-        if src_pinned and key in self.caches[source]:
-            self.caches[source].unpin(key)
+        landed = self.directory.complete_transfer_id(tid, key, HOST)
+        if src_pinned:
+            self.caches[source].unpin_if_resident(key)
         if landed:
             self.datastore.copy_tile(tile, source, HOST)
             if self.directory.state(key, source) is not None:
@@ -354,9 +396,12 @@ class TransferManager:
         store drop theirs.
         """
         key = tile.key
-        for other in self.directory.valid_devices(key):
-            if other == device:
-                continue
+        tid = self.directory.lookup(key)
+        m = self.directory.device_valid_mask(tid) & ~(1 << device)
+        while m:
+            low = m & -m
+            m ^= low
+            other = low.bit_length() - 1
             if other in self.caches and key in self.caches[other]:
                 ccache = self.caches[other]
                 if ccache.pin_count(key) == 0:
@@ -366,7 +411,7 @@ class TransferManager:
                     # Pinned elsewhere (running reader finished at same instant
                     # event ordering): keep bytes, directory invalidates below.
                     pass
-        self.directory.write(key, device)
+        self.directory.write_id(tid, device)
         cache = self.caches[device]
         if key not in cache:
             # WRITE-only access: the output tile was allocated, not transferred.
@@ -375,9 +420,8 @@ class TransferManager:
             # of victims is already covered by their own D2H reservations).
             self._make_room(device, tile.nbytes, when)
             cache.insert(key, tile.nbytes, now=when)
-        cache.mark_dirty(key, True)
-        cache.touch(key, when)
-        self._refresh_shared_flags(key)
+        cache.note_write(key, when)
+        self._refresh_shared_flags(key, tid)
         self.sanitize(key)
 
     def allocate_output(self, tile: Tile, device: int, earliest: float) -> float:
@@ -399,6 +443,8 @@ class TransferManager:
     ) -> float:
         """Evict until ``nbytes`` fit on ``device``; return readiness time."""
         cache = self.caches[device]
+        if nbytes <= cache.free:
+            return now  # fits as-is; skip the victim-selection machinery
         victims = self.eviction_policy.choose_victims(cache, nbytes, protect=protect)
         ready = now
         for vkey in victims:
@@ -415,7 +461,7 @@ class TransferManager:
                 ready = max(ready, end)
                 self.directory.discard(vkey, device)
                 self._refresh_shared_flags(vkey)
-                self.sim.schedule(end, self.datastore.drop_device_tile, vkey, device)
+                self.sim.post(end, self.datastore.drop_device_tile, vkey, device)
             else:
                 cache.remove(vkey)
                 self.directory.evict(vkey, device)
@@ -427,13 +473,21 @@ class TransferManager:
 
     # ----------------------------------------------------------- bookkeeping
 
-    def _refresh_shared_flags(self, key: TileKey) -> None:
+    def _refresh_shared_flags(self, key: TileKey, tid: int | None = None) -> None:
         """Maintain the BLASX-policy hint: is the tile replicated elsewhere?"""
-        holders = self.directory.valid_devices(key)
-        multi = len(holders) > 1
-        for dev in holders:
-            if dev in self.caches and key in self.caches[dev]:
-                self.caches[dev].mark_shared_elsewhere(key, multi)
+        if tid is None:
+            tid = self.directory.lookup(key)
+        m = self.directory.device_valid_mask(tid)
+        multi = m.bit_count() > 1
+        caches = self.caches
+        while m:
+            low = m & -m
+            m ^= low
+            cache = caches.get(low.bit_length() - 1)
+            if cache is not None:
+                # mark_shared_elsewhere is a no-op for non-resident keys, so
+                # no separate membership probe.
+                cache.mark_shared_elsewhere(key, multi)
 
     def stats(self) -> dict[str, int]:
         return {

@@ -47,7 +47,10 @@ class Channel:
         self.bandwidth = float(bandwidth)
         self.latency = float(latency)
         self.name = name
-        self._busy_until = 0.0
+        #: virtual time at which the FIFO backlog drains; written only by
+        #: reserve/occupy.  A plain attribute: the fabric reads it on every
+        #: transfer-cost estimate, where property dispatch is measurable.
+        self.busy_until = 0.0
         self.bytes_moved = 0
         self.transfer_count = 0
 
@@ -69,9 +72,9 @@ class Channel:
         ``end``.
         """
         now = self.sim.now if earliest is None else max(self.sim.now, earliest)
-        start = max(now, self._busy_until)
+        start = max(now, self.busy_until)
         end = start + self.transfer_time(nbytes)
-        self._busy_until = end
+        self.busy_until = end
         self.bytes_moved += nbytes
         self.transfer_count += 1
         return start, end
@@ -92,16 +95,11 @@ class Channel:
             )
         if nbytes < 0:
             raise SimulationError(f"channel {self.name!r}: negative size {nbytes}")
-        self._busy_until = max(self._busy_until, end)
+        self.busy_until = max(self.busy_until, end)
         self.bytes_moved += nbytes
         self.transfer_count += 1
 
     # ------------------------------------------------------------- inspection
-
-    @property
-    def busy_until(self) -> float:
-        """Virtual time at which the FIFO backlog drains."""
-        return self._busy_until
 
     def utilization(self, horizon: float) -> float:
         """Fraction of ``[0, horizon]`` spent moving bytes (upper bound)."""
@@ -112,5 +110,5 @@ class Channel:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Channel({self.name!r}, bw={self.bandwidth / 1e9:.1f} GB/s, "
-            f"busy_until={self._busy_until:.6f})"
+            f"busy_until={self.busy_until:.6f})"
         )

@@ -11,11 +11,21 @@ streams overlap because their ``[start, end)`` intervals overlap, not because
 host threads run concurrently.  This is the standard discrete-event approach
 and makes every run bit-reproducible.
 
-Heap entries are plain ``(time, seq, event)`` tuples rather than the
-:class:`Event` objects themselves: ``heapq`` then compares native floats and
-ints (the tie-breaking ``seq`` is unique, so comparison never reaches the
-event), which is measurably faster than dispatching dataclass ``__lt__``
-per sift step on paper-scale runs.
+Heap entries are plain tuples rather than the :class:`Event` objects
+themselves: ``heapq`` then compares native floats and ints (the tie-breaking
+``seq`` is unique, so comparison never reaches the payload), which is
+measurably faster than dispatching dataclass ``__lt__`` per sift step on
+paper-scale runs.  Two entry shapes coexist on the heap:
+
+* ``(time, seq, event)`` — from :meth:`Simulator.schedule`, which returns a
+  cancellable :class:`Event` handle;
+* ``(time, seq, callback, args)`` — from :meth:`Simulator.post`, the
+  fire-and-forget form used by the runtime's hot paths (kernel and transfer
+  completions are never cancelled, so allocating a handle per event was pure
+  churn).
+
+Mixed shapes compare fine: ``seq`` is unique, so ordering is decided before
+tuple comparison ever reaches the third element.
 """
 
 from __future__ import annotations
@@ -26,8 +36,8 @@ from typing import Any, Callable
 from repro.errors import SimulationError
 from repro.sim.event import Event
 
-#: heap entry: (time, seq, event) — seq is unique, so tuple comparison is
-#: total without ever comparing Event objects.
+#: cancellable heap entry: (time, seq, event); posted entries are
+#: (time, seq, callback, args).
 _HeapEntry = tuple[float, int, Event]
 
 
@@ -48,18 +58,16 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: list[_HeapEntry] = []
-        self._now: float = 0.0
+        self._heap: list = []
+        #: current virtual time in seconds.  A plain attribute, written only
+        #: by the engine itself: the runtime reads the clock on every
+        #: scheduling decision, where a property dispatch is measurable.
+        self.now: float = 0.0
         self._seq: int = 0
         self._running = False
         self._events_fired = 0
 
     # ------------------------------------------------------------------ clock
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
 
     @property
     def events_fired(self) -> int:
@@ -79,9 +87,9 @@ class Simulator:
         callback — scheduling a bound method with its arguments this way
         avoids allocating a closure per event on the hot path.
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule event in the past: {time} < now={self._now}"
+                f"cannot schedule event in the past: {time} < now={self.now}"
             )
         seq = self._seq
         self._seq = seq + 1
@@ -89,13 +97,29 @@ class Simulator:
         heapq.heappush(self._heap, (time, seq, event))
         return event
 
+    def post(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Event` handle.
+
+        Identical ordering semantics (same clock check, same ``seq`` stream —
+        posted and scheduled events interleave deterministically), but the
+        heap entry is just ``(time, seq, callback, args)``.  The runtime's
+        per-event allocations were dominated by handles nobody ever cancelled.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, callback, args))
+
     def schedule_after(
         self, delay: float, callback: Callable[..., Any], *args: Any
     ) -> Event:
         """Schedule ``callback`` ``delay`` seconds from now (``delay >= 0``)."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule(self._now + delay, callback, *args)
+        return self.schedule(self.now + delay, callback, *args)
 
     # -------------------------------------------------------------------- run
 
@@ -103,10 +127,16 @@ class Simulator:
         """Fire the next pending event.  Returns ``False`` if the heap is empty."""
         heap = self._heap
         while heap:
-            time, _seq, event = heapq.heappop(heap)
+            entry = heapq.heappop(heap)
+            if len(entry) == 4:  # posted: (time, seq, callback, args)
+                self.now = entry[0]
+                self._events_fired += 1
+                entry[2](*entry[3])
+                return True
+            time, _seq, event = entry
             if event.cancelled:
                 continue
-            self._now = time
+            self.now = time
             self._events_fired += 1
             event.callback(*event.args)
             return True
@@ -131,6 +161,29 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        if until is None and max_events is None:
+            # Run-to-exhaustion fast path (the shape every full simulation
+            # uses): the pop/dispatch of :meth:`step` inlined, saving a method
+            # call and a bounds re-check per event.
+            heap = self._heap
+            pop = heapq.heappop
+            try:
+                while heap:
+                    entry = pop(heap)
+                    if len(entry) == 4:  # posted: (time, seq, callback, args)
+                        self.now = entry[0]
+                        self._events_fired += 1
+                        entry[2](*entry[3])
+                        continue
+                    event = entry[2]
+                    if event.cancelled:
+                        continue
+                    self.now = entry[0]
+                    self._events_fired += 1
+                    event.callback(*event.args)
+            finally:
+                self._running = False
+            return
         fired = 0
         try:
             while self._heap:
@@ -143,14 +196,14 @@ class Simulator:
                 if not self.step():
                     break
                 fired += 1
-            if until is not None and self._now < until:
-                self._now = until
+            if until is not None and self.now < until:
+                self.now = until
         finally:
             self._running = False
 
     def _peek_time(self) -> float:
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
             heapq.heappop(heap)
         if not heap:
             return float("inf")
@@ -159,11 +212,13 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of queued (non-cancelled) events."""
-        return sum(1 for _, _, e in self._heap if not e.cancelled)
+        return sum(
+            1 for e in self._heap if len(e) == 4 or not e[2].cancelled
+        )
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
         self._heap.clear()
-        self._now = 0.0
+        self.now = 0.0
         self._seq = 0
         self._events_fired = 0

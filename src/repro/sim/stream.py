@@ -20,7 +20,10 @@ class Stream:
     def __init__(self, sim: Simulator, name: str = "stream") -> None:
         self.sim = sim
         self.name = name
-        self._busy_until = 0.0
+        #: virtual time at which the lane's backlog drains.  A plain attribute
+        #: (written only by :meth:`reserve`): the executor polls it on every
+        #: wake round, where a property dispatch is measurable.
+        self.busy_until = 0.0
         self.ops = 0
 
     def reserve(self, duration: float, earliest: float | None = None) -> tuple[float, float]:
@@ -33,20 +36,15 @@ class Stream:
         if duration < 0:
             raise SimulationError(f"stream {self.name!r}: negative duration")
         now = self.sim.now if earliest is None else max(self.sim.now, earliest)
-        start = max(now, self._busy_until)
+        start = max(now, self.busy_until)
         end = start + duration
-        self._busy_until = end
+        self.busy_until = end
         self.ops += 1
         return start, end
 
-    @property
-    def busy_until(self) -> float:
-        """Virtual time at which the lane's backlog drains."""
-        return self._busy_until
-
     def available_at(self, earliest: float) -> float:
         """Earliest time an op could start given the backlog and ``earliest``."""
-        return max(earliest, self._busy_until)
+        return max(earliest, self.busy_until)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Stream({self.name!r}, busy_until={self._busy_until:.6f}, ops={self.ops})"
+        return f"Stream({self.name!r}, busy_until={self.busy_until:.6f}, ops={self.ops})"

@@ -55,7 +55,12 @@ class TraceRecorder:
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
-        self._intervals: list[Interval] = []
+        #: mixed storage: raw ``(category, device, start, end, label, nbytes)``
+        #: tuples appended by :meth:`record`, converted to :class:`Interval`
+        #: objects in place — and label callables resolved — the first time an
+        #: accessor needs them.  Entries before ``_cooked`` are materialized.
+        self._intervals: list = []
+        self._cooked = 0
 
     # ---------------------------------------------------------------- record
 
@@ -71,20 +76,34 @@ class TraceRecorder:
         """Append one interval (no-op when tracing is disabled).
 
         ``label`` may be a zero-argument callable producing the label string;
-        it is only invoked when tracing is enabled.  Hot-path callers pass a
-        lambda instead of a pre-formatted f-string so that trace-disabled
-        perf sweeps never pay the string formatting.
+        it is only invoked when the trace is *read* (summaries, accessors),
+        never on the recording path.  Interval materialization is deferred the
+        same way: recording is a bounds check plus a tuple append, so enabling
+        traces costs sweeps almost nothing until they ask for the analysis.
         """
         if not self.enabled:
             return
         if end < start:
             raise ValueError(f"interval ends before it starts: [{start}, {end})")
-        if callable(label):
-            label = label()
-        self._intervals.append(Interval(category, device, start, end, label, nbytes))
+        self._intervals.append((category, device, start, end, label, nbytes))
 
     def clear(self) -> None:
         self._intervals.clear()
+        self._cooked = 0
+
+    def _materialized(self) -> list[Interval]:
+        """Convert any still-raw entries; returns the interval list."""
+        ivs = self._intervals
+        cooked = self._cooked
+        total = len(ivs)
+        if cooked < total:
+            for idx in range(cooked, total):
+                category, device, start, end, label, nbytes = ivs[idx]
+                if callable(label):
+                    label = label()
+                ivs[idx] = Interval(category, device, start, end, label, nbytes)
+            self._cooked = total
+        return ivs
 
     # ------------------------------------------------------------- accessors
 
@@ -92,11 +111,11 @@ class TraceRecorder:
         return len(self._intervals)
 
     def __iter__(self) -> Iterator[Interval]:
-        return iter(self._intervals)
+        return iter(self._materialized())
 
     @property
     def intervals(self) -> list[Interval]:
-        return list(self._intervals)
+        return list(self._materialized())
 
     def filter(
         self,
@@ -105,7 +124,7 @@ class TraceRecorder:
     ) -> list[Interval]:
         """Select intervals by category and/or device."""
         out = []
-        for iv in self._intervals:
+        for iv in self._materialized():
             if category is not None and iv.category is not category:
                 continue
             if device is not None and iv.device != device:
@@ -115,7 +134,7 @@ class TraceRecorder:
 
     def makespan(self) -> float:
         """End time of the last interval (0 for an empty trace)."""
-        return max((iv.end for iv in self._intervals), default=0.0)
+        return max((iv.end for iv in self._materialized()), default=0.0)
 
     # ------------------------------------------------------------- summaries
 
@@ -127,7 +146,7 @@ class TraceRecorder:
         streams overlap.
         """
         totals: dict[TraceCategory, float] = defaultdict(float)
-        for iv in self._intervals:
+        for iv in self._materialized():
             totals[iv.category] += iv.duration
         return dict(totals)
 
@@ -153,14 +172,14 @@ class TraceRecorder:
         out: dict[int, dict[TraceCategory, float]] = defaultdict(
             lambda: defaultdict(float)
         )
-        for iv in self._intervals:
+        for iv in self._materialized():
             out[iv.device][iv.category] += iv.duration
         return {dev: dict(cats) for dev, cats in out.items()}
 
     def device_busy_time(self, device: int) -> float:
         """Union length of all intervals on ``device`` (true occupancy)."""
         ivs = sorted(
-            ((iv.start, iv.end) for iv in self._intervals if iv.device == device)
+            ((iv.start, iv.end) for iv in self._materialized() if iv.device == device)
         )
         busy = 0.0
         cur_start: float | None = None
@@ -189,7 +208,7 @@ class TraceRecorder:
         in Chameleon's composition Gantt chart (Fig. 9).
         """
         ivs = sorted(
-            ((iv.start, iv.end) for iv in self._intervals if iv.device == device)
+            ((iv.start, iv.end) for iv in self._materialized() if iv.device == device)
         )
         gaps: list[tuple[float, float]] = []
         cur_end: float | None = None

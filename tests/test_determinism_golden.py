@@ -21,6 +21,11 @@ from pathlib import Path
 import pytest
 
 from repro.bench.harness import run_point
+from repro.blas.tiled.gemm import build_gemm
+from repro.memory.layout import BlockCyclicDistribution
+from repro.memory.matrix import Matrix
+from repro.runtime.api import Runtime, RuntimeOptions
+from repro.topology.dgx1 import make_dgx1
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_makespans.json"
 
@@ -40,8 +45,39 @@ def _observe(routine: str, n: int, nb: int) -> dict:
     }
 
 
+def _observe_with_scheduler(scheduler: str, n: int, nb: int) -> dict:
+    """One GEMM point under a specific scheduling policy.
+
+    Mirrors the recording script for ``scheduler_points``: owner-computes
+    needs a distribution to derive owners from, every other policy runs with
+    its defaults.  Priorities are assigned exactly as ``Session.sync`` does.
+    """
+    opts: dict = {"scheduler": scheduler}
+    if scheduler == "owner-computes":
+        opts["distribution"] = BlockCyclicDistribution(2, 4)
+    rt = Runtime(make_dgx1(8), RuntimeOptions(**opts))
+    a, b, c = (Matrix.meta(n, n) for _ in range(3))
+    pa, pb, pc = rt.partition(a, nb), rt.partition(b, nb), rt.partition(c, nb)
+    for task in build_gemm(1.0, pa, pb, 0.5, pc):
+        rt.submit(task)
+    rt.memory_coherent_async(c, nb)
+    rt.executor.graph.critical_path_priorities()
+    makespan = rt.sync()
+    return {
+        "makespan": makespan,
+        "makespan_hex": makespan.hex(),
+        "events_fired": rt.sim.events_fired,
+        "transfers": rt.transfer.stats(),
+        "tasks": rt.executor.completed_tasks,
+    }
+
+
 def _golden_points() -> dict:
     return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))["points"]
+
+
+def _golden_scheduler_points() -> dict:
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))["scheduler_points"]
 
 
 @pytest.mark.parametrize("routine", ["gemm", "trsm"])
@@ -64,5 +100,29 @@ def test_makespans_match_recorded_goldens(name):
     }
     assert got == expected, (
         f"{name} drifted from the recorded golden — simulated behaviour "
+        "changed; if deliberate, re-record tests/data/golden_makespans.json"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_golden_scheduler_points()))
+def test_scheduler_parity_goldens(name):
+    """One recorded GEMM point per scheduling policy.
+
+    The hot-path rework (array directory, indexed ready queues, incremental
+    wake-up) touches structures every scheduler pops from; these goldens pin
+    each policy's pop/steal order, not just the default one the macro points
+    exercise.
+    """
+    rec = _golden_scheduler_points()[name]
+    got = _observe_with_scheduler(rec["scheduler"], rec["n"], rec["nb"])
+    expected = {
+        "makespan": rec["makespan"],
+        "makespan_hex": rec["makespan_hex"],
+        "events_fired": rec["events_fired"],
+        "transfers": rec["transfers"],
+        "tasks": rec["tasks"],
+    }
+    assert got == expected, (
+        f"{name} drifted from the recorded golden — scheduler behaviour "
         "changed; if deliberate, re-record tests/data/golden_makespans.json"
     )
