@@ -20,10 +20,17 @@ Two invariants make these numbers meaningful:
 
 Usage::
 
-    python -m repro.bench.perfbench                 # full suite
+    python -m repro.bench.perfbench                 # full suite (incl. large-N)
     python -m repro.bench.perfbench --fast          # CI smoke subset
+    python -m repro.bench.perfbench --skip-large    # full suite minus large-N
+    python -m repro.bench.perfbench --large-smoke   # reduced large-N memory gate
     python -m repro.bench.perfbench --profile       # cProfile the macro GEMM
     python -m repro.bench.perfbench --check-against BENCH_runtime.json
+
+The large-N tier (perf-mode GEMM N=131072, a 262k-task graph) exists to prove
+the streaming/reclamation path scales: it is recorded with peak-memory
+columns and gated on memory (streamed peak <= 25% of the materialized peak),
+never on speed.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import json
 import platform as host_platform
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 from repro.bench.harness import run_point
@@ -57,6 +65,22 @@ FAST_MACRO_POINTS = (
     ("macro-trsm-n8192", "trsm", 8192, 512),
 )
 
+#: (name, n, nb) of the large-N streaming tier: GEMM N=131072 / nb=2048 is a
+#: 64^3 = 262,144-task graph — far beyond what the retained path should be
+#: asked to hold casually, which is the point: the streamed/reclaiming run
+#: must complete with a fraction of the materialized peak memory.  Recorded
+#: for trajectory, never speed-gated (see :func:`compare_to_baseline`).
+LARGE_POINT = ("large-gemm-n131072", 131072, 2048)
+
+#: Reduced large point for the CI smoke job: 48^3 = 110,592 tasks (still
+#: comfortably past the 50k mark where materialization costs dominate) at a
+#: size a CI runner finishes in minutes.
+LARGE_SMOKE_POINT = ("large-gemm-n49152", 49152, 1024)
+
+#: Acceptance ratio: streamed peak memory must be at most this fraction of
+#: the materialized (retained list-submission) peak at the same point.
+LARGE_PEAK_RATIO = 0.25
+
 #: Worker count of the harness-sweep parallel measurement.
 HARNESS_JOBS = 4
 
@@ -66,7 +90,7 @@ class BenchResult:
     """One benchmark measurement (wall time is host time, makespan virtual)."""
 
     name: str
-    kind: str  # "macro" | "micro" | "harness" (events = sweep cells)
+    kind: str  # "macro" | "micro" | "harness" (events = sweep cells) | "large"
     wall_s: float
     events: int
     events_per_s: float
@@ -76,6 +100,10 @@ class BenchResult:
     makespan_s: float | None = None
     tasks: int | None = None
     transfers: dict[str, int] | None = None
+    #: tracemalloc high-water of a separate, untimed replay of the same point
+    #: (tracing would skew the wall-time measurement, so it never shares a
+    #: run with it).  Python-allocation bytes, not RSS.
+    peak_mem_bytes: int | None = None
 
     def to_json(self) -> dict:
         return {k: v for k, v in dataclasses.asdict(self).items() if v is not None}
@@ -122,8 +150,33 @@ def bench_engine_events(num_events: int = 200_000) -> BenchResult:
 # ------------------------------------------------------------------- macros
 
 
-def bench_macro(name: str, routine: str, n: int, nb: int) -> BenchResult:
-    """One perf-mode routine invocation on the simulated 8-GPU DGX-1."""
+def _traced_peak(thunk) -> int:
+    """tracemalloc high-water of one ``thunk()`` call, in bytes.
+
+    Collects leftover garbage first and re-anchors the peak at the current
+    level, so back-to-back measurements in one process stay comparable (the
+    reason RSS is not used: ``ru_maxrss`` is process-monotonic and can never
+    show the second, smaller configuration).
+    """
+    gc.collect()
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        thunk()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def bench_macro(name: str, routine: str, n: int, nb: int,
+                measure_peak: bool = True) -> BenchResult:
+    """One perf-mode routine invocation on the simulated 8-GPU DGX-1.
+
+    The wall-time measurement runs untraced; when ``measure_peak`` is set the
+    point is replayed under tracemalloc for the memory column (simulated
+    behaviour is deterministic, so the replay is the same run).
+    """
     plat = make_dgx1(8)
     # The previous point's task graph is one big cycle web (Task.successors);
     # collect it now so its collection is not billed to this measurement.
@@ -135,6 +188,16 @@ def bench_macro(name: str, routine: str, n: int, nb: int) -> BenchResult:
     rt = res.runtime
     assert rt is not None
     events = rt.sim.events_fired
+    makespan = res.seconds
+    tasks = rt.executor.completed_tasks
+    transfers = rt.transfer.stats()
+    peak = None
+    if measure_peak:
+        res = rt = None  # drop the kept runtime before anchoring the peak
+        peak = _traced_peak(
+            lambda: run_point(routine=routine, library="xkblas", n=n, nb=nb,
+                              platform=make_dgx1(8))
+        )
     return BenchResult(
         name=name,
         kind="macro",
@@ -142,12 +205,124 @@ def bench_macro(name: str, routine: str, n: int, nb: int) -> BenchResult:
         n=n,
         nb=nb,
         wall_s=wall,
-        makespan_s=res.seconds,
+        makespan_s=makespan,
         events=events,
         events_per_s=events / wall if wall > 0 else 0.0,
-        tasks=rt.executor.completed_tasks,
-        transfers=rt.transfer.stats(),
+        tasks=tasks,
+        transfers=transfers,
+        peak_mem_bytes=peak,
     )
+
+
+# ----------------------------------------------------------------- large-N
+
+
+def _run_large_gemm(n: int, nb: int, streaming: bool) -> tuple:
+    """One perf-mode GEMM at large N, streamed+reclaiming or materialized.
+
+    Uses the runtime directly (no harness cache, no Session layer) with
+    tracing off in *both* configurations, so the peak-memory comparison
+    isolates exactly what the tentpole changes: task-graph retention.
+    """
+    from repro.blas.tiled.gemm import build_gemm
+    from repro.memory.matrix import Matrix
+    from repro.runtime.api import Runtime, RuntimeOptions
+
+    rt = Runtime(
+        make_dgx1(8),
+        RuntimeOptions(trace=False, streaming=streaming,
+                       retain_tasks=not streaming),
+    )
+    a, b, c = (Matrix.meta(n, n) for _ in range(3))
+    pa, pb, pc = rt.partition(a, nb), rt.partition(b, nb), rt.partition(c, nb)
+    tasks = build_gemm(1.0, pa, pb, 0.5, pc)
+    if streaming:
+        rt.submit_stream(tasks)
+    else:
+        for task in tasks:
+            rt.submit(task)
+    rt.memory_coherent_async(c, nb)
+    makespan = rt.sync()
+    return (makespan, rt.sim.events_fired, rt.executor.completed_tasks,
+            rt.transfer.stats())
+
+
+def bench_large_gemm(name: str, n: int, nb: int) -> list[BenchResult]:
+    """The large-N tier: a streamed point and its materialized counterpart.
+
+    Three runs: the streamed/reclaiming configuration once untraced (that is
+    the recorded wall time) and once under tracemalloc for its peak, then the
+    materialized list-submission configuration once under tracemalloc.  The
+    retained result's wall time is therefore tracing-skewed; that is fine
+    because the whole ``large`` kind is recorded for trajectory and excluded
+    from speed gating — its purpose is the peak-memory comparison.  Both
+    makespans are recorded: past the admission window the streamed run's
+    submission instants become completion-driven, so its makespan may differ
+    slightly from the materialized one (below the window they are
+    bit-identical — that regime is what the golden tests pin down).
+    """
+    gc.collect()
+    t0 = time.perf_counter()
+    makespan, events, tasks, transfers = _run_large_gemm(n, nb, streaming=True)
+    wall = time.perf_counter() - t0
+    stream_peak = _traced_peak(lambda: _run_large_gemm(n, nb, streaming=True))
+    streamed = BenchResult(
+        name=f"{name}-stream", kind="large", routine="gemm", n=n, nb=nb,
+        wall_s=wall, events=events,
+        events_per_s=events / wall if wall > 0 else 0.0,
+        makespan_s=makespan, tasks=tasks, transfers=transfers,
+        peak_mem_bytes=stream_peak,
+    )
+    retained_out: list = []
+    t0 = time.perf_counter()
+    retained_peak = _traced_peak(
+        lambda: retained_out.append(_run_large_gemm(n, nb, streaming=False))
+    )
+    retained_wall = time.perf_counter() - t0
+    r_makespan, r_events, r_tasks, r_transfers = retained_out[0]
+    if r_tasks != tasks:
+        raise RuntimeError(
+            f"{name}: streamed run completed {tasks} tasks but the "
+            f"materialized run completed {r_tasks} — a graph was truncated"
+        )
+    retained = BenchResult(
+        name=f"{name}-retained", kind="large", routine="gemm", n=n, nb=nb,
+        wall_s=retained_wall, events=r_events,
+        events_per_s=r_events / retained_wall if retained_wall > 0 else 0.0,
+        makespan_s=r_makespan, tasks=r_tasks, transfers=r_transfers,
+        peak_mem_bytes=retained_peak,
+    )
+    return [streamed, retained]
+
+
+def large_peak_gate(results: list[BenchResult],
+                    ceiling_mb: float | None = None) -> list[str]:
+    """Memory gate for the large tier (completion and speed are not gated
+    here; a run that does not complete raises long before this).
+
+    * streamed peak must be at most :data:`LARGE_PEAK_RATIO` of the
+      materialized peak for the same point;
+    * optionally, an absolute ceiling (MB) on every streamed peak.
+    """
+    failures: list[str] = []
+    by_name = {r.name: r for r in results if r.kind == "large"}
+    for name, res in by_name.items():
+        if not name.endswith("-stream") or res.peak_mem_bytes is None:
+            continue
+        mate = by_name.get(name.removesuffix("-stream") + "-retained")
+        if mate is not None and mate.peak_mem_bytes:
+            ratio = res.peak_mem_bytes / mate.peak_mem_bytes
+            if ratio > LARGE_PEAK_RATIO:
+                failures.append(
+                    f"{name}: streamed peak is {ratio:.1%} of the "
+                    f"materialized peak (ceiling {LARGE_PEAK_RATIO:.0%})"
+                )
+        if ceiling_mb is not None and res.peak_mem_bytes > ceiling_mb * 1e6:
+            failures.append(
+                f"{name}: streamed peak {res.peak_mem_bytes / 1e6:.1f} MB "
+                f"exceeds the {ceiling_mb:.0f} MB ceiling"
+            )
+    return failures
 
 
 # ----------------------------------------------------------------- harness
@@ -240,12 +415,17 @@ def harness_summary(results: list[BenchResult]) -> dict:
 # ------------------------------------------------------------------ suite
 
 
-def run_suite(fast: bool = False, repeat: int = 1) -> list[BenchResult]:
+def run_suite(fast: bool = False, repeat: int = 1,
+              large: bool | None = None) -> list[BenchResult]:
     """Run the full suite; with ``repeat`` > 1 the best wall time is kept.
 
     Repeats reduce host noise only — virtual-time fields are deterministic
-    and identical across repeats by construction.
+    and identical across repeats by construction.  ``large`` selects the
+    large-N streaming tier; the default runs it exactly when the full suite
+    runs (the ``--fast`` CI smoke has its own dedicated large-smoke job).
     """
+    if large is None:
+        large = not fast
     # The full suite includes the fast points so a committed full baseline
     # always has the names a CI ``--fast`` run checks against.
     points = FAST_MACRO_POINTS if fast else FAST_MACRO_POINTS + MACRO_POINTS
@@ -268,6 +448,9 @@ def run_suite(fast: bool = False, repeat: int = 1) -> list[BenchResult]:
     # Harness sweep: serial + cache-warm always; the process-pool point only
     # in the full suite (CI's --fast smoke stays single-process).
     results.extend(bench_harness_sweep(parallel_jobs=None if fast else HARNESS_JOBS))
+    if large:
+        name, n, nb = LARGE_POINT
+        results.extend(bench_large_gemm(name, n, nb))
     return results
 
 
@@ -286,14 +469,16 @@ def suite_to_json(results: list[BenchResult], fast: bool) -> dict:
 def render(results: list[BenchResult]) -> str:
     lines = [
         f"{'benchmark':28}  {'wall (s)':>9}  {'events':>8}  {'events/s':>10}  "
-        f"{'makespan (s)':>12}"
+        f"{'makespan (s)':>12}  {'peak MB':>8}"
     ]
     lines.append("-" * len(lines[0]))
     for r in results:
         mk = f"{r.makespan_s:.6f}" if r.makespan_s is not None else "-"
+        pk = (f"{r.peak_mem_bytes / 1e6:.1f}"
+              if r.peak_mem_bytes is not None else "-")
         lines.append(
             f"{r.name:28}  {r.wall_s:9.3f}  {r.events:8d}  "
-            f"{r.events_per_s:10.0f}  {mk:>12}"
+            f"{r.events_per_s:10.0f}  {mk:>12}  {pk:>8}"
         )
     return "\n".join(lines)
 
@@ -321,6 +506,12 @@ def compare_to_baseline(
         if res.kind == "harness":
             # Sweep wall times depend on core count and (for the warm point)
             # sub-millisecond timer noise; recorded for trajectory, not gated.
+            continue
+        if res.kind == "large":
+            # The large tier is memory-gated (large_peak_gate), never
+            # speed-gated: one of its two runs is deliberately measured under
+            # tracemalloc, and even the untraced one is a multi-minute point
+            # whose pace CI should not depend on.
             continue
         floor = base["events_per_s"] * (1.0 - tolerance)
         if res.events_per_s < floor:
@@ -375,6 +566,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="CI smoke subset (small sizes)")
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions per benchmark; best wall time kept")
+    parser.add_argument("--skip-large", action="store_true",
+                        help="omit the large-N streaming tier from a full run")
+    parser.add_argument("--large-smoke", action="store_true",
+                        help="run ONLY the reduced large-N point and gate its "
+                             "completion + peak memory (the CI smoke job)")
+    parser.add_argument("--peak-ceiling-mb", type=float, default=None,
+                        help="absolute ceiling (MB) on the streamed peak in "
+                             "--large-smoke mode")
     parser.add_argument("--output", metavar="PATH",
                         help="write results as JSON")
     parser.add_argument("--check-against", metavar="PATH",
@@ -389,9 +588,33 @@ def main(argv: list[str] | None = None) -> int:
         print(profile_macro(fast=args.fast))
         return 0
 
-    results = run_suite(fast=args.fast, repeat=args.repeat)
+    if args.large_smoke:
+        name, n, nb = LARGE_SMOKE_POINT
+        results = bench_large_gemm(name, n, nb)
+        print(render(results))
+        if args.output:
+            payload = suite_to_json(results, fast=False)
+            Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+            print(f"wrote {args.output}")
+        failures = large_peak_gate(results, ceiling_mb=args.peak_ceiling_mb)
+        for failure in failures:
+            print(f"MEMORY GATE: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        streamed = results[0]
+        print(f"large smoke ok: {streamed.tasks} tasks, streamed peak "
+              f"{streamed.peak_mem_bytes / 1e6:.1f} MB vs materialized "
+              f"{results[1].peak_mem_bytes / 1e6:.1f} MB")
+        return 0
+
+    results = run_suite(fast=args.fast, repeat=args.repeat,
+                        large=False if args.skip_large else None)
     print(render(results))
     print("harness:", json.dumps(harness_summary(results)))
+
+    gate_failures = large_peak_gate(results)
+    for failure in gate_failures:
+        print(f"MEMORY GATE: {failure}", file=sys.stderr)
 
     if args.output:
         payload = suite_to_json(results, fast=args.fast)
@@ -407,7 +630,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"no regression vs {args.check_against} "
               f"(tolerance {args.tolerance:.0%})")
-    return 0
+    return 1 if gate_failures else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

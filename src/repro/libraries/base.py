@@ -272,11 +272,25 @@ class Session:
     def _submit(self, routine: str, tasks: Iterable[Task], grid_shape, scenario: str,
                 output: Matrix, nb: int) -> None:
         lib = self.library
-        for task in tasks:
-            hint = lib._owner_hint(task, grid_shape)
-            if hint is not None:
-                task.owner_hint = hint
-            self.runtime.submit(task)
+        if self.runtime.options.streaming:
+            # Streaming intake: the builder generator is handed to the
+            # runtime unconsumed; owner hints are applied per task as it is
+            # pulled, so no task of the call is materialized ahead of its
+            # submission instant.
+            def hinted() -> Iterable[Task]:
+                for task in tasks:
+                    hint = lib._owner_hint(task, grid_shape)
+                    if hint is not None:
+                        task.owner_hint = hint
+                    yield task
+
+            self.runtime.submit_stream(hinted())
+        else:
+            for task in tasks:
+                hint = lib._owner_hint(task, grid_shape)
+                if hint is not None:
+                    task.owner_hint = hint
+                self.runtime.submit(task)
         self._calls += 1
         self._outputs.append((output, nb))
         if lib.synchronous:
@@ -367,7 +381,9 @@ class Session:
         self.runtime.memory_coherent_async(matrix, nb)
 
     def sync(self) -> float:
-        self.runtime.executor.graph.critical_path_priorities()
+        graph = self.runtime.executor.graph
+        if graph.retain_tasks:
+            graph.critical_path_priorities()
         return self.runtime.sync()
 
     @property

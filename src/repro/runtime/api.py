@@ -20,7 +20,7 @@ XKBLAS programming model (§III, §IV-F):
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro import config
 from repro.errors import SchedulingError
@@ -81,6 +81,29 @@ class RuntimeOptions:
     cache_fraction: float = 0.92
     #: record an nvprof-like trace (disable for the largest sweeps).
     trace: bool = True
+    #: cap on recorded trace intervals (``None`` = unbounded).  Huge runs
+    #: with tracing on keep the first ``trace_limit`` intervals and count the
+    #: rest (``TraceRecorder.dropped``) instead of holding millions of tuples.
+    trace_limit: int | None = None
+    #: submit library calls through the streaming intake
+    #: (:meth:`Runtime.submit_stream`): tasks are pulled from the tiled
+    #: builders' generators one at a time during the run instead of being
+    #: materialized up front.  Virtual-time output is bit-identical to the
+    #: eager path; combine with ``retain_tasks=False`` for bounded memory on
+    #: million-task graphs.
+    streaming: bool = False
+    #: admission window of the streaming intake: at most this many tasks live
+    #: (submitted, not yet retired) before the pull chain pauses until
+    #: completions make room — StarPU-style submission throttling.  Graphs
+    #: smaller than the window never pause, keeping virtual-time accounting
+    #: bit-identical to the eager path; ``None`` disables throttling (and with
+    #: it the flat-memory guarantee).
+    stream_window: int | None = 8192
+    #: False lets the task graph *reclaim* finished tasks (references dropped,
+    #: task list replaced by counters).  Required True for debug passes
+    #: (``validate_acyclic``, ``graph.tasks``, the verify subsystem) and for
+    #: DMDAS, whose critical-path priorities need the whole DAG resident.
+    retain_tasks: bool = True
     #: host page-locking (cudaHostRegister) bandwidth in bytes/s, charged once
     #: per matrix at its first host transfer.  ``None`` (default) ignores the
     #: cost, matching the paper's methodology (§IV-A: "the time to page lock
@@ -105,7 +128,7 @@ class Runtime:
         self.options = options or RuntimeOptions()
         opts = self.options
         self.sim = Simulator()
-        self.trace = TraceRecorder(enabled=opts.trace)
+        self.trace = TraceRecorder(enabled=opts.trace, max_intervals=opts.trace_limit)
         self.directory = CoherenceDirectory()
         self.datastore = DataStore()
         self.fabric = Fabric(self.sim, platform)
@@ -154,6 +177,8 @@ class Runtime:
             pipeline_window=opts.pipeline_window,
             overlap=opts.overlap,
             retain_inputs=opts.retain_inputs,
+            retain_tasks=opts.retain_tasks,
+            stream_window=opts.stream_window,
         )
         self._partitions: dict[int, TilePartition] = {}
 
@@ -193,6 +218,23 @@ class Runtime:
     def submit_all(self, tasks: Sequence[Task]) -> None:
         for task in tasks:
             self.executor.submit(task)
+
+    def submit_stream(self, tasks: Iterable[Task]) -> None:
+        """Submit tasks lazily: each is pulled at the previous submission
+        instant, so at most one unsubmitted task of the stream is resident.
+
+        Bit-identical virtual-time accounting to :meth:`submit_all` (same
+        submission order, same ``task_overhead`` charges, one event per
+        task).  Schedulers that need whole-DAG critical-path priorities
+        (DMDAS, ``needs_priorities=True``) cannot act on a graph that is not
+        materialized, so for them the stream is drained eagerly — equivalent
+        to :meth:`submit_all`, documented in DESIGN §9.
+        """
+        if getattr(self.scheduler, "needs_priorities", False):
+            for task in tasks:
+                self.executor.submit(task)
+            return
+        self.executor.submit_stream(tasks)
 
     # ---------------------------------------------------------- lazy flushes
 

@@ -14,6 +14,16 @@ rule set per tile:
 Because dependencies cross routine boundaries, submitting TRSM tasks followed
 by GEMM tasks composes them automatically — the property the composition
 benchmark (Fig. 8/9) measures.
+
+The graph does not need the whole DAG resident, exactly like XKaapi: the
+per-tile window (last writer + readers since) is the only state dependency
+derivation ever consults, so tasks can be *added while earlier ones already
+executed* (streaming submission) and *retired once done* (their ``successors``
+and ``accesses`` dropped, their ``_TileHistory`` references nulled).  Retained
+mode (``retain_tasks=True``, the default) additionally keeps the full task
+list for debug passes — :meth:`validate_acyclic`, the verification subsystem,
+and :meth:`critical_path_priorities` (which DMDAS needs, so DMDAS runs
+require retained mode).
 """
 
 from __future__ import annotations
@@ -27,21 +37,40 @@ from repro.runtime.task import Task
 
 @dataclasses.dataclass(slots=True)
 class _TileHistory:
+    """Per-tile dependency window.
+
+    ``last_writer_uid`` outlives ``last_writer``: retirement nulls the task
+    reference (so finished tasks can be collected) but keeps the uid, which
+    is all the dependency rule needs for a *done* predecessor — dep dedupe
+    and edge accounting stay bit-identical to the retain-everything path.
+    ``readers_since_write`` maps reader uid -> task (or ``None`` once
+    retired), in insertion order, for the same reason.
+    """
+
     last_writer: Task | None = None
-    readers_since_write: list[Task] = dataclasses.field(default_factory=list)
+    last_writer_uid: int = -1
+    readers_since_write: dict[int, Task | None] = dataclasses.field(
+        default_factory=dict
+    )
 
 
 class TaskGraph:
     """A DAG of tasks built incrementally from access declarations."""
 
-    def __init__(self) -> None:
+    def __init__(self, retain_tasks: bool = True) -> None:
         self._history: dict[TileKey, _TileHistory] = {}
-        self.tasks: list[Task] = []
+        #: retained mode keeps every task for debug passes; reclaiming mode
+        #: only keeps counters and drops a task's references once it is done.
+        self.retain_tasks = retain_tasks
+        self._tasks: list[Task] = []
+        self._added = 0
         self._edges = 0
         self._done = 0
         #: tasks seen entering the "ready" state, pruned lazily by
         #: :meth:`ready_tasks`; a task becomes ready at most once, so the
-        #: buffer is append-only between queries.
+        #: buffer is append-only between queries.  Maintained in retained
+        #: mode only — nothing on the execution path consumes it, and in
+        #: reclaiming mode it would pin every task ever submitted.
         self._ready_buffer: list[Task] = []
 
     # -------------------------------------------------------------- building
@@ -71,26 +100,27 @@ class TaskGraph:
             if hist is None:
                 hist = history[key] = _TileHistory()
             hists.append(hist)
-            writer = hist.last_writer
+            wuid = hist.last_writer_uid
             if access.writes:
-                if writer is not None and writer.uid != uid and writer.uid not in deps:
-                    deps.add(writer.uid)
+                if wuid >= 0 and wuid != uid and wuid not in deps:
+                    deps.add(wuid)
                     edges += 1
-                    if writer.state != "done":
+                    writer = hist.last_writer
+                    if writer is not None and writer.state != "done":
                         writer.successors.append(task)
                         unfinished += 1
-                for reader in hist.readers_since_write:
-                    r = reader.uid
-                    if r != uid and r not in deps:
-                        deps.add(r)
+                for ruid, reader in hist.readers_since_write.items():
+                    if ruid != uid and ruid not in deps:
+                        deps.add(ruid)
                         edges += 1
-                        if reader.state != "done":
+                        if reader is not None and reader.state != "done":
                             reader.successors.append(task)
                             unfinished += 1
-            elif writer is not None and writer.uid != uid and writer.uid not in deps:
-                deps.add(writer.uid)
+            elif wuid >= 0 and wuid != uid and wuid not in deps:
+                deps.add(wuid)
                 edges += 1
-                if writer.state != "done":
+                writer = hist.last_writer
+                if writer is not None and writer.state != "done":
                     writer.successors.append(task)
                     unfinished += 1
         self._edges += edges
@@ -100,18 +130,42 @@ class TaskGraph:
         for access, hist in zip(task.accesses, hists):
             if access.writes:
                 hist.last_writer = task
+                hist.last_writer_uid = uid
                 hist.readers_since_write.clear()
             else:
-                hist.readers_since_write.append(task)
+                hist.readers_since_write[uid] = task
         if task.unfinished_predecessors == 0:
             task.state = "ready"
-            self._ready_buffer.append(task)
+            if self.retain_tasks:
+                self._ready_buffer.append(task)
         else:
             task.state = "waiting"
-        self.tasks.append(task)
+        self._added += 1
+        if self.retain_tasks:
+            self._tasks.append(task)
         return task
 
     # -------------------------------------------------------------- queries
+
+    @property
+    def tasks(self) -> list[Task]:
+        """Every task ever added, in submission order (retained mode only)."""
+        if not self.retain_tasks:
+            raise TaskGraphError(
+                "TaskGraph(retain_tasks=False) reclaims finished tasks and "
+                "keeps no task list; use num_tasks/num_done, or build the "
+                "graph in retained mode for debug passes"
+            )
+        return self._tasks
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks ever added (cheap; works in both modes)."""
+        return self._added
+
+    @property
+    def num_done(self) -> int:
+        return self._done
 
     @property
     def num_edges(self) -> int:
@@ -122,11 +176,19 @@ class TaskGraph:
 
         Amortized O(ready): the buffer only ever receives a task once (when
         it becomes ready) and entries that moved on are dropped here, instead
-        of rescanning every task in the graph per query.
+        of rescanning every task in the graph per query.  The pruned buffer
+        *is* the returned list — one fresh list per query, no second copy —
+        so callers must treat it as a read-only snapshot.
         """
+        if not self.retain_tasks:
+            raise TaskGraphError(
+                "ready_tasks() requires retain_tasks=True (the reclaiming "
+                "graph keeps no ready buffer; the executor tracks readiness "
+                "incrementally through complete())"
+            )
         still_ready = [t for t in self._ready_buffer if t.state == "ready"]
         self._ready_buffer = still_ready
-        return list(still_ready)
+        return still_ready
 
     def last_writer(self, key: TileKey) -> Task | None:
         hist = self._history.get(key)
@@ -146,17 +208,50 @@ class TaskGraph:
             if succ.unfinished_predecessors == 0 and succ.state == "waiting":
                 succ.state = "ready"
                 newly_ready.append(succ)
-        self._ready_buffer.extend(newly_ready)
+        if self.retain_tasks:
+            self._ready_buffer.extend(newly_ready)
+        else:
+            self._retire(task)
         return newly_ready
 
+    def _retire(self, task: Task) -> None:
+        """Drop every graph-held reference to a finished task.
+
+        Called only in reclaiming mode.  The per-tile windows keep the uid
+        (dependency derivation for *future* streamed tasks still dedupes and
+        counts edges exactly as if the task were resident) but lose the
+        object reference, and the task sheds its own fan-out so a retired
+        region of the DAG is collectible as soon as the executor's in-flight
+        events release it.
+        """
+        history = self._history
+        uid = task.uid
+        for access in task.accesses:
+            hist = history.get(access.tile.key)
+            if hist is None:
+                continue
+            if access.writes:
+                if hist.last_writer is task:
+                    hist.last_writer = None
+            if access.reads:
+                readers = hist.readers_since_write
+                if readers.get(uid) is task:
+                    readers[uid] = None
+        task.successors.clear()
+        task.accesses = ()
+        task.access_keys = ()
+        task.output_tile = None
+
     def all_done(self) -> bool:
-        return self._done == len(self.tasks)
+        return self._done == self._added
 
     def critical_path_priorities(self) -> None:
         """Assign each task a priority = longest flop path to a sink.
 
         Used by priority-aware schedulers (DMDAS); reverse-topological sweep
         over the submission order, which is already a topological order.
+        Requires retained mode: the sweep needs every task and its successor
+        list resident, which is exactly what reclamation drops.
         """
         for task in reversed(self.tasks):
             best = 0
@@ -165,7 +260,10 @@ class TaskGraph:
             task.priority = best + max(1, int(task.flops // 1e6))
 
     def validate_acyclic(self) -> None:
-        """Sanity check: submission order must be a topological order."""
+        """Sanity check: submission order must be a topological order.
+
+        Retained mode only (it walks the materialized task list).
+        """
         position = {t.uid: idx for idx, t in enumerate(self.tasks)}
         for t in self.tasks:
             for succ in t.successors:

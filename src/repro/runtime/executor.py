@@ -20,11 +20,36 @@ The :class:`Executor` drives the whole machine inside virtual time:
 Host-flush tasks (reads-only tasks created by ``memory_coherent_async``) skip
 the device scheduler entirely: when schedulable they trigger a D2H write-back,
 implementing XKBLAS's lazy coherence (§IV-F).
+
+Submission comes in two shapes with identical virtual-time accounting:
+
+* :meth:`Executor.submit` — the materialized path: every task object exists
+  before the simulation runs, one submission-instant event per task;
+* :meth:`Executor.submit_stream` — the streaming path: tasks are *pulled*
+  from an iterable one at a time, each pull happening at the previous task's
+  submission instant (which is exactly when the simulated host thread frees
+  up to create the next task).  The clock arithmetic is the same
+  ``max(submit_clock, now) + task_overhead`` recurrence, and one event fires
+  per task, so makespans, transfer stats and event counts are bit-identical
+  to the materialized path — but only a bounded window of the task graph is
+  ever resident, which is what lets million-task graphs run in flat memory
+  (paired with ``TaskGraph(retain_tasks=False)`` reclamation).
+
+The ``stream_window`` admission bound makes the residency claim real: since
+per-task submission overhead (µs) is orders of magnitude below kernel times
+(ms), an unthrottled stream would materialize the whole graph in the opening
+instants of virtual time.  Once ``stream_window`` tasks are live the pull
+chain pauses and completions resume it — exactly StarPU's task-window
+submission throttling.  Graphs that never reach the window (all golden-sized
+points) keep bit-identical accounting; beyond it, submission instants shift
+to completion-driven ones, which can perturb makespans slightly and is the
+documented price of flat memory (see DESIGN §9).
 """
 
 from __future__ import annotations
 
 import dataclasses
+from collections import deque
 
 from repro.errors import CoherenceError, SchedulingError
 from repro.memory.coherence import ReplicaState
@@ -65,13 +90,15 @@ class Executor:
         pipeline_window: int | None = None,
         overlap: bool = True,
         retain_inputs: bool = True,
+        retain_tasks: bool = True,
+        stream_window: int | None = 8192,
     ) -> None:
         self.sim = sim
         self.platform = platform
         self.scheduler = scheduler
         self.transfer = transfer
         self.trace = trace
-        self.graph = TaskGraph()
+        self.graph = TaskGraph(retain_tasks=retain_tasks)
         self.task_overhead = task_overhead
         self.pop_overhead = pop_overhead
         self.overlap = overlap
@@ -100,6 +127,22 @@ class Executor:
         )
         self._submit_clock = 0.0
         self._wake_origin = 0
+        #: queued task sources for streaming submission, drained in order:
+        #: each entry is ``(iterator, is_flush)``.  While a drain is active,
+        #: direct ``submit()`` calls append behind it so the host thread's
+        #: submission order (and its per-task overhead charges) match the
+        #: materialized path exactly.
+        self._pending_streams: deque = deque()
+        self._stream_active = False
+        #: admission window for streamed submission: while this many tasks
+        #: are live (submitted, not yet retired), the pull chain pauses and
+        #: resumes on completions — the bounded task window of real runtimes
+        #: (StarPU's submission throttling, XKaapi's bounded frames).  Graphs
+        #: smaller than the window never pause, so their virtual-time
+        #: accounting is bit-identical to the materialized path; larger
+        #: graphs trade exact submission instants for flat memory.
+        self._stream_window = stream_window
+        self._stream_paused = False
         self._submitted: set[int] = set()
         self._completed = 0
         self._flush_tasks: set[int] = set()
@@ -113,7 +156,15 @@ class Executor:
     # ------------------------------------------------------------ submission
 
     def submit(self, task: Task, is_flush: bool = False) -> Task:
-        """Add ``task`` to the graph and schedule its submission instant."""
+        """Add ``task`` to the graph and schedule its submission instant.
+
+        While a streamed drain is active the task is queued behind it (the
+        simulated host thread is still busy creating the streamed tasks), so
+        interleaving ``submit_stream`` and ``submit`` keeps program order.
+        """
+        if self._stream_active:
+            self._pending_streams.append((iter((task,)), is_flush))
+            return task
         self.graph.add(task)
         if is_flush:
             self._flush_tasks.add(task.uid)
@@ -121,8 +172,62 @@ class Executor:
         self.sim.post(self._submit_clock, self._mark_submitted, task)
         return task
 
+    def submit_stream(self, tasks, is_flush: bool = False) -> None:
+        """Submit tasks from an iterable, pulling them lazily.
+
+        Only one task of the stream is materialized ahead of the simulation:
+        the next task is pulled inside the previous one's submission-instant
+        event — the same moment the simulated host thread becomes free to
+        create it — so the ``task_overhead`` recurrence, the submission
+        order, and the one-event-per-task count are identical to
+        :meth:`submit` over the materialized list.
+        """
+        self._pending_streams.append((iter(tasks), is_flush))
+        if not self._stream_active:
+            self._stream_active = True
+            self._pull_next()
+
+    def _pull_next(self) -> None:
+        """Pull one task from the pending streams; deactivate when drained."""
+        window = self._stream_window
+        if (
+            window is not None
+            and self.graph.num_tasks - self.graph.num_done >= window
+        ):
+            self._stream_paused = True
+            return
+        streams = self._pending_streams
+        while streams:
+            it, is_flush = streams[0]
+            task = next(it, None)
+            if task is None:
+                streams.popleft()
+                continue
+            self.graph.add(task)
+            if is_flush:
+                self._flush_tasks.add(task.uid)
+            self._submit_clock = (
+                max(self._submit_clock, self.sim.now) + self.task_overhead
+            )
+            self.sim.post(self._submit_clock, self._mark_submitted_stream, task)
+            return
+        self._stream_active = False
+
     def _mark_submitted(self, task: Task) -> None:
         """Submission-instant event: the host thread finished creating the task."""
+        self._submitted.add(task.uid)
+        if task.state == "ready":
+            self._enqueue(task)
+
+    def _mark_submitted_stream(self, task: Task) -> None:
+        """Streamed submission instant: pull the successor, then proceed.
+
+        The pull happens *before* this task is handed to the scheduler so the
+        next submission event is on the heap ahead of whatever this task's
+        enqueue posts — mirroring the materialized path, where all submission
+        events pre-date every launch/completion event.
+        """
+        self._pull_next()
         self._submitted.add(task.uid)
         if task.state == "ready":
             self._enqueue(task)
@@ -363,6 +468,20 @@ class Executor:
     def _finish(self, task: Task) -> None:
         self._completed += 1
         newly_ready = self.graph.complete(task)
+        if not self.graph.retain_tasks:
+            # Reclaiming mode: the graph just retired the task; drop the
+            # executor's own bookkeeping so the uid sets stay bounded by the
+            # in-flight window instead of growing with the whole run.
+            self._submitted.discard(task.uid)
+            self._flush_tasks.discard(task.uid)
+        if self._stream_paused:
+            window = self._stream_window
+            if (
+                window is None
+                or self.graph.num_tasks - self.graph.num_done < window
+            ):
+                self._stream_paused = False
+                self._pull_next()
         for succ in newly_ready:
             if succ.uid in self._submitted:
                 self._enqueue(succ)
@@ -378,10 +497,17 @@ class Executor:
         scheduling bug or an impossible mapping).
         """
         self.sim.run(max_events=max_events)
-        if not self.graph.all_done():
-            stuck = [t for t in self.graph.tasks if t.state != "done"]
+        graph = self.graph
+        if not graph.all_done():
+            if graph.retain_tasks:
+                stuck = [t for t in graph.tasks if t.state != "done"]
+                raise SchedulingError(
+                    f"{len(stuck)} tasks never completed, e.g. {stuck[0]!r}"
+                )
             raise SchedulingError(
-                f"{len(stuck)} tasks never completed, e.g. {stuck[0]!r}"
+                f"{graph.num_tasks - graph.num_done} of {graph.num_tasks} "
+                "tasks never completed (reclaiming graph keeps no task list; "
+                "rerun with retain_tasks=True to identify them)"
             )
         return self.sim.now
 

@@ -89,6 +89,12 @@ class Scheduler(abc.ABC):
     """Maps schedulable tasks onto devices on demand."""
 
     name = "abstract"
+    #: True for policies whose decisions read ``Task.priority`` (DMDAS).
+    #: Critical-path priorities need the whole DAG materialized before the
+    #: run, so ``Runtime.submit_stream`` falls back to eager submission for
+    #: such schedulers and reclaiming graphs are documented as unsupported
+    #: with them (see DESIGN §9).
+    needs_priorities = False
 
     def __init__(self, num_devices: int) -> None:
         self.num_devices = num_devices

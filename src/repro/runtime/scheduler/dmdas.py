@@ -33,6 +33,10 @@ from repro.topology.platform import Platform
 
 class DmdaScheduler(Scheduler):
     name = "starpu-dmdas"
+    #: the sorted queues read ``Task.priority``, which only
+    #: ``TaskGraph.critical_path_priorities()`` (whole-DAG, retained mode)
+    #: assigns — streaming submission materializes eagerly for this policy.
+    needs_priorities = True
 
     def __init__(self, num_devices: int, platform: Platform) -> None:
         super().__init__(num_devices)

@@ -26,7 +26,7 @@ _task_ids = itertools.count()
 NumericKernel = Callable[..., None]
 
 
-@dataclasses.dataclass(eq=False, slots=True)
+@dataclasses.dataclass(eq=False, slots=True, weakref_slot=True)
 class Task:
     """One schedulable kernel invocation.
 

@@ -54,12 +54,27 @@ def test_full_suite_contains_the_fast_names(monkeypatch):
         return [BenchResult(name=n, kind="harness", wall_s=1.0, events=24,
                             events_per_s=24.0) for n in names]
 
+    def fake_large(name, n, nb):
+        recorded.append(name)
+        return [BenchResult(name=f"{name}-{suffix}", kind="large", wall_s=1.0,
+                            events=10, events_per_s=10.0, routine="gemm",
+                            n=n, nb=nb, makespan_s=0.5, tasks=4,
+                            peak_mem_bytes=1000)
+                for suffix in ("stream", "retained")]
+
     monkeypatch.setattr(perfbench, "bench_engine_events", fake_micro)
     monkeypatch.setattr(perfbench, "bench_macro", fake_macro)
     monkeypatch.setattr(perfbench, "bench_harness_sweep", fake_harness)
+    monkeypatch.setattr(perfbench, "bench_large_gemm", fake_large)
     fast_names = {r.name for r in run_suite(fast=True)}
     full_names = {r.name for r in run_suite(fast=False)}
     assert fast_names <= full_names
+    # The large tier belongs to the full suite only (the fast CI smoke has a
+    # dedicated --large-smoke job).
+    large_name = perfbench.LARGE_POINT[0]
+    assert f"{large_name}-stream" in full_names
+    assert f"{large_name}-retained" in full_names
+    assert not any(n.startswith("large-") for n in fast_names)
 
 
 def test_compare_flags_events_per_s_regression():
@@ -125,6 +140,37 @@ def test_compare_does_not_gate_harness_points():
     assert compare_to_baseline(current, baseline, tolerance=0.30) == []
 
 
+def test_compare_does_not_gate_large_points():
+    # One large run is measured under tracemalloc and the other is a
+    # multi-minute point: the tier is memory-gated, never speed-gated.
+    baseline = {"results": [{"name": "large-gemm-n131072-stream",
+                             "events_per_s": 1000.0, "makespan_s": 1.0}]}
+    current = [BenchResult(name="large-gemm-n131072-stream", kind="large",
+                           wall_s=100.0, events=10, events_per_s=0.1,
+                           makespan_s=2.0)]
+    assert compare_to_baseline(current, baseline, tolerance=0.30) == []
+
+
+def test_large_peak_gate_enforces_ratio_and_ceiling():
+    def pair(stream_peak, retained_peak):
+        return [
+            BenchResult(name="large-x-stream", kind="large", wall_s=1.0,
+                        events=1, events_per_s=1.0,
+                        peak_mem_bytes=stream_peak),
+            BenchResult(name="large-x-retained", kind="large", wall_s=1.0,
+                        events=1, events_per_s=1.0,
+                        peak_mem_bytes=retained_peak),
+        ]
+
+    assert perfbench.large_peak_gate(pair(20, 100)) == []
+    failures = perfbench.large_peak_gate(pair(30, 100))
+    assert len(failures) == 1 and "streamed peak" in failures[0]
+    # Absolute ceiling applies to the streamed point only.
+    failures = perfbench.large_peak_gate(pair(20, 100), ceiling_mb=1e-5)
+    assert len(failures) == 1 and "ceiling" in failures[0]
+    assert perfbench.large_peak_gate(pair(20, 100), ceiling_mb=100.0) == []
+
+
 def test_compare_ignores_unknown_benchmarks():
     baseline = {"results": [{"name": "only-in-baseline", "events_per_s": 1.0}]}
     current = [BenchResult(name="new-benchmark", kind="micro", wall_s=1.0,
@@ -158,3 +204,15 @@ def test_committed_baseline_matches_schema_and_has_headline():
     assert "micro-engine-50k-events" in names
     headline = payload["headline"]
     assert headline["before_wall_s"] / headline["after_wall_s"] >= 1.5
+    # The large-N streaming tier is recorded with both peaks, and the
+    # streamed run must hold the <= 25% acceptance ratio.
+    by_name = {r["name"]: r for r in payload["results"]}
+    large = perfbench.LARGE_POINT[0]
+    streamed = by_name[f"{large}-stream"]
+    retained = by_name[f"{large}-retained"]
+    assert streamed["tasks"] == retained["tasks"] > 250_000
+    ratio = streamed["peak_mem_bytes"] / retained["peak_mem_bytes"]
+    assert ratio <= perfbench.LARGE_PEAK_RATIO
+    # Every macro point records the peak-memory column.
+    for name, *_ in perfbench.FAST_MACRO_POINTS + perfbench.MACRO_POINTS:
+        assert by_name[name].get("peak_mem_bytes", 0) > 0, name
