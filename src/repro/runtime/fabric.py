@@ -187,13 +187,16 @@ class Fabric:
         return self.platform.link(src, dst).kind
 
     def host_channel_stats(self) -> dict[str, dict[str, float]]:
-        """Per-switch traffic summary (bytes and transfer counts)."""
+        """Per-switch traffic summary (bytes and transfer counts).
+
+        Shared-channel topologies map several device slots to one channel
+        object; channels are deduplicated by :attr:`name` (unique per
+        channel — it is also the output key) rather than object identity.
+        """
         out: dict[str, dict[str, float]] = {}
-        seen: set[int] = set()
         for chan in list(self._h2d.values()) + list(self._d2h.values()):
-            if id(chan) in seen:
+            if chan.name in out:
                 continue
-            seen.add(id(chan))
             out[chan.name] = {
                 "bytes": chan.bytes_moved,
                 "transfers": chan.transfer_count,
@@ -204,11 +207,11 @@ class Fabric:
         return sum(c.bytes_moved for c in self._p2p.values())
 
     def host_bytes_total(self) -> int:
-        seen: set[int] = set()
+        seen: set[str] = set()
         total = 0
         for chan in list(self._h2d.values()) + list(self._d2h.values()):
-            if id(chan) in seen:
+            if chan.name in seen:
                 continue
-            seen.add(id(chan))
+            seen.add(chan.name)
             total += chan.bytes_moved
         return total

@@ -69,7 +69,12 @@ class Task:
     #: owner-computes anchor, precomputed for the same reason as
     #: ``access_keys``: the schedulers read it on every push.
     output_tile: Tile | None = None
-    uid: int = dataclasses.field(default_factory=lambda: next(_task_ids))
+    #: process-global on purpose: uids only need to be unique per process
+    #: (executor bookkeeping sets, repr); no decision arithmetic consumes
+    #: them — lint rule D106 would flag it if one ever did.
+    uid: int = dataclasses.field(  # det: unique-only, never decision input
+        default_factory=lambda: next(_task_ids)
+    )
     unfinished_predecessors: int = 0
     successors: list["Task"] = dataclasses.field(default_factory=list)
     device: int | None = None  # assigned at execution

@@ -16,17 +16,31 @@ screenshots, as computed metrics:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import TaskGraphError
 from repro.runtime.dataflow import TaskGraph
 from repro.runtime.task import Task
 from repro.sim.trace import TraceCategory, TraceRecorder
+
+if TYPE_CHECKING:  # avoid the runtime.api -> sim import cycle
+    from repro.runtime.api import Runtime
 
 
 def critical_path(graph: TaskGraph) -> tuple[float, list[Task]]:
     """Longest chain of task durations; returns ``(seconds, chain)``.
 
     Submission order is a topological order, so one forward sweep suffices.
-    Durations are the *observed* kernel times of the run.
+    Durations are the *observed* kernel times of the run.  Requires a
+    retained graph: a reclaiming run (``retain_tasks=False``) keeps neither
+    the task list nor the successor edges this sweep walks.
     """
+    if not graph.retain_tasks:
+        raise TaskGraphError(
+            "critical_path needs the executed task list, but this graph "
+            "reclaims tasks on completion (retain_tasks=False); rerun the "
+            "analysis with retain_tasks=True"
+        )
     # Forward sweep: dist[t] = duration(t) + max over predecessors.  The
     # graph stores successors, so propagate forward instead.
     dist: dict[int, float] = {}
@@ -86,7 +100,7 @@ def overlap_efficiency(trace: TraceRecorder, device: int) -> float:
     return hidden / total
 
 
-def load_imbalance(trace: TraceRecorder, devices) -> float:
+def load_imbalance(trace: TraceRecorder, devices: Iterable[int]) -> float:
     """(max - min) / mean of per-device busy time (Fig. 7's spread)."""
     busy = [trace.device_busy_time(d) for d in devices]
     mean = sum(busy) / len(busy) if busy else 0.0
@@ -95,7 +109,7 @@ def load_imbalance(trace: TraceRecorder, devices) -> float:
     return (max(busy) - min(busy)) / mean
 
 
-def analyze(runtime) -> dict:
+def analyze(runtime: Runtime) -> dict:
     """Full post-mortem of a finished :class:`~repro.runtime.api.Runtime`."""
     graph = runtime.executor.graph
     trace = runtime.trace

@@ -1,7 +1,7 @@
 """Verification subsystem: machine-checks for the invariants the paper states
 in prose.
 
-Three analysis passes plus runtime wiring:
+Analysis passes plus runtime wiring:
 
 * :mod:`repro.verify.graph` — task-graph race & deadlock detector over any
   built :class:`~repro.runtime.dataflow.TaskGraph` (RAW/WAR/WAW conflict
@@ -11,27 +11,52 @@ Three analysis passes plus runtime wiring:
   as a runtime sanitizer (``RuntimeOptions.verify_coherence``);
 * :mod:`repro.verify.trace_lint` — post-mortem linter replaying an
   nvprof-like :class:`~repro.sim.trace.TraceRecorder` stream;
-* :mod:`repro.verify.lint` — project-specific AST rules over the sources.
+* :mod:`repro.verify.races` — vector-clock happens-before race detector over
+  the same traces: true conflict detection instead of rule checks;
+* :mod:`repro.verify.lint` — project-specific AST rules over the sources;
+* :mod:`repro.verify.determinism` — purity/determinism linter with
+  call-graph reachability (:mod:`repro.verify.callgraph`), ``# det:``
+  waivers and a committed fingerprint baseline;
+* :mod:`repro.verify.reclaim` — static reclamation-safety pass protecting
+  the streaming (``retain_tasks=False``) mode's clear-on-complete contract.
 
-``python -m repro.verify`` runs everything and exits non-zero on findings.
+``python -m repro.verify`` runs everything and exits non-zero on findings
+(``--json`` for machine output, ``--github`` for CI annotations).
 """
 
 from repro.verify.base import Finding, raise_on_findings, render_report
+from repro.verify.callgraph import CallGraph, load_or_build
 from repro.verify.coherence import CoherenceSanitizer, check_directory, check_tile
+from repro.verify.determinism import (
+    lint_determinism,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
 from repro.verify.graph import assert_graph_ok, verify_graph
 from repro.verify.lint import lint_path, lint_source
+from repro.verify.races import detect_races
+from repro.verify.reclaim import lint_reclamation
 from repro.verify.trace_lint import lint_trace
 
 __all__ = [
+    "CallGraph",
     "CoherenceSanitizer",
     "Finding",
     "assert_graph_ok",
     "check_directory",
     "check_tile",
+    "detect_races",
+    "lint_determinism",
     "lint_path",
+    "lint_reclamation",
     "lint_source",
     "lint_trace",
+    "load_baseline",
+    "load_or_build",
+    "new_findings",
     "raise_on_findings",
     "render_report",
     "verify_graph",
+    "write_baseline",
 ]

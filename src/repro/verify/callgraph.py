@@ -1,0 +1,206 @@
+"""Name-based call graph over a package tree, with a JSON disk cache.
+
+The determinism linter and the reclamation-safety pass both need the same
+question answered: *which functions are reachable from a given set of entry
+points?*  Precise points-to analysis is overkill for a single package with a
+consistent naming discipline, so the graph is **name-based and conservative**:
+
+* a node is every ``def`` (function, method, lambda-holding assignment is
+  ignored) in every module under the root, identified by
+  ``module.py:Class.method`` qualnames;
+* an edge goes from a function to *every* function whose name matches a name
+  the body references — called directly (``foo()``, ``obj.foo()``) or passed
+  as a callback (``sim.post(t, self._complete, ...)`` keeps ``_complete``
+  reachable), which matters because the runtime wires completion events
+  exactly that way.
+
+Over-approximation is the right failure mode for a linter: an unreachable
+function wrongly considered reachable can only produce a finding a human then
+waives; an unreachable edge missed would silently skip a rule.
+
+Building the graph parses every module, so the CLI (and CI, which runs it on
+every push) can persist it: :func:`load_or_build` keys the cache on a content
+hash of every source file and rebuilds only what changed.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+
+_CACHE_VERSION = 2
+
+
+class FunctionNode:
+    """One ``def`` in the tree."""
+
+    __slots__ = ("module", "qualname", "name", "lineno", "refs")
+
+    def __init__(
+        self, module: str, qualname: str, name: str, lineno: int, refs: set[str]
+    ) -> None:
+        self.module = module  # posix relpath, e.g. "runtime/transfer.py"
+        self.qualname = qualname  # e.g. "TransferManager._select_source"
+        self.name = name  # unqualified, e.g. "_select_source"
+        self.lineno = lineno
+        #: every Name id / Attribute attr referenced in the body — the
+        #: superset of callees under name-based resolution.
+        self.refs = refs
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+    def to_json(self) -> dict:
+        return {
+            "module": self.module,
+            "qualname": self.qualname,
+            "name": self.name,
+            "lineno": self.lineno,
+            "refs": sorted(self.refs),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FunctionNode":
+        return cls(
+            data["module"],
+            data["qualname"],
+            data["name"],
+            data["lineno"],
+            set(data["refs"]),
+        )
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Collect every function/method of a module with its referenced names."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.nodes: list[FunctionNode] = []
+        self._class_stack: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        refs: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                refs.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                refs.add(sub.attr)
+        prefix = ".".join(self._class_stack)
+        qualname = f"{prefix}.{node.name}" if prefix else node.name
+        self.nodes.append(
+            FunctionNode(self.module, qualname, node.name, node.lineno, refs)
+        )
+        # Nested defs become their own nodes too (the outer body references
+        # their name, so reachability flows through them).
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+class CallGraph:
+    """All functions of a tree plus name-based reachability queries."""
+
+    def __init__(self, nodes: list[FunctionNode]) -> None:
+        self.nodes = nodes
+        self._by_name: dict[str, list[FunctionNode]] = {}
+        for node in nodes:
+            self._by_name.setdefault(node.name, []).append(node)
+
+    def functions_named(self, name: str) -> list[FunctionNode]:
+        return self._by_name.get(name, [])
+
+    def reachable(self, roots: list[str]) -> set[str]:
+        """Keys of every function reachable from the given root names.
+
+        A root may be an unqualified name (``"pop"`` — every function or
+        method named ``pop``), a ``Class.method`` qualname, or a full
+        ``path/to/module.py:Class.method`` key.
+        """
+        frontier: list[FunctionNode] = []
+        for root in roots:
+            if ":" in root:
+                frontier.extend(n for n in self.nodes if n.key == root)
+            elif "." in root:
+                frontier.extend(n for n in self.nodes if n.qualname == root)
+            else:
+                frontier.extend(self.functions_named(root))
+        seen: set[str] = set()
+        work = list(frontier)
+        while work:
+            node = work.pop()
+            if node.key in seen:
+                continue
+            seen.add(node.key)
+            for ref in node.refs:
+                for callee in self._by_name.get(ref, ()):
+                    if callee.key not in seen:
+                        work.append(callee)
+        return seen
+
+    # -------------------------------------------------------------- building
+
+    @staticmethod
+    def _tree_hashes(root: Path) -> dict[str, str]:
+        hashes: dict[str, str] = {}
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            hashes[rel] = hashlib.sha1(path.read_bytes()).hexdigest()
+        return hashes
+
+    @classmethod
+    def build(cls, root: Path) -> "CallGraph":
+        nodes: list[FunctionNode] = []
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+            except SyntaxError:
+                continue  # the AST lint reports it as L000
+            collector = _FunctionCollector(rel)
+            collector.visit(tree)
+            nodes.extend(collector.nodes)
+        return cls(nodes)
+
+    def to_json(self, root: Path) -> dict:
+        return {
+            "version": _CACHE_VERSION,
+            "files": self._tree_hashes(root),
+            "functions": [n.to_json() for n in self.nodes],
+        }
+
+
+def load_or_build(root: Path, cache_path: Path | None = None) -> CallGraph:
+    """Return the tree's call graph, reusing ``cache_path`` when still valid.
+
+    The cache is valid iff the stored per-file content hashes exactly match
+    the tree (same files, same bytes).  On miss the graph is rebuilt and the
+    cache rewritten — CI keys an actions/cache entry on the same hashes, so
+    warm runs skip the parse of every module.
+    """
+    if cache_path is not None and cache_path.is_file():
+        try:
+            data = json.loads(cache_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            data = None
+        if (
+            data is not None
+            and data.get("version") == _CACHE_VERSION
+            and data.get("files") == CallGraph._tree_hashes(root)
+        ):
+            return CallGraph(
+                [FunctionNode.from_json(f) for f in data["functions"]]
+            )
+    graph = CallGraph.build(root)
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        cache_path.write_text(json.dumps(graph.to_json(root)), encoding="utf-8")
+    return graph

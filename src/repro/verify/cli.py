@@ -1,22 +1,38 @@
 """``python -m repro.verify`` — run every verification pass over the project.
 
-Three stages, any finding makes the exit status non-zero:
+Five stages, any finding makes the exit status non-zero:
 
 1. **lint** — the project AST rules of :mod:`repro.verify.lint` over the
    installed ``repro`` package sources (override with ``--src``);
-2. **graph** — build the task graphs of all six tiled BLAS-3 routines plus
+2. **determinism** — the purity/determinism linter
+   (:mod:`repro.verify.determinism`) and the reclamation-safety pass
+   (:mod:`repro.verify.reclaim`), both reachability-aware over the shared
+   call graph (cached with ``--callgraph-cache``) and filtered against the
+   committed fingerprint baseline (``--baseline``, regenerate with
+   ``--write-baseline``);
+3. **graph** — build the task graphs of all six tiled BLAS-3 routines plus
    the TRSM+GEMM composition and certify them with the race/deadlock
    detector, pre-execution;
-3. **runtime** — execute each of those graphs on a simulated platform with
+4. **runtime** — execute each of those graphs on a simulated platform with
    the coherence sanitizer enabled, then re-certify the executed graph
    (timing-aware), sweep the final coherence directory, lint the recorded
-   trace, and lint a data-distribution phase with the topology-aware trace
-   rules.
+   trace, run the vector-clock race detector
+   (:mod:`repro.verify.races`) over it, and lint a data-distribution phase
+   with the topology-aware trace rules;
+5. **streaming** — run the same workload through the reclaiming streaming
+   path (``retain_tasks=False``) and race-check its trace (transfer-level:
+   a reclaiming graph keeps no kernel access lists).
+
+``--json FILE`` additionally writes the findings as machine-readable JSON
+(``-`` for stdout); ``--github`` prints one ``::error``/``::warning``
+workflow command per finding so CI runs annotate the offending lines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import re
 import sys
 from pathlib import Path
 
@@ -29,9 +45,18 @@ from repro.memory.matrix import Matrix
 from repro.runtime.dataflow import TaskGraph
 from repro.topology.dgx1 import make_dgx1
 from repro.verify.base import Finding, render_report
+from repro.verify.callgraph import load_or_build
 from repro.verify.coherence import check_directory
+from repro.verify.determinism import (
+    lint_determinism,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
 from repro.verify.graph import verify_graph
 from repro.verify.lint import lint_path
+from repro.verify.races import detect_races
+from repro.verify.reclaim import lint_reclamation
 from repro.verify.trace_lint import lint_trace
 
 #: the six tiled BLAS-3 routines of the paper's Fig. 5, plus the composition.
@@ -83,7 +108,7 @@ def build_tasks(routine: str, n: int, nb: int) -> list:
 
 
 def verify_built_graphs(n: int, nb: int) -> list[Finding]:
-    """Stage 2: certify freshly built (unexecuted) graphs."""
+    """Stage 3: certify freshly built (unexecuted) graphs."""
     findings: list[Finding] = []
     for routine in ROUTINES:
         graph = TaskGraph()
@@ -96,8 +121,10 @@ def verify_built_graphs(n: int, nb: int) -> list[Finding]:
     return findings
 
 
-def verify_executed_run(routine: str, n: int, nb: int, gpus: int) -> list[Finding]:
-    """Stage 3 (per routine): run with the sanitizer on, then post-mortem."""
+def verify_executed_run(
+    routine: str, n: int, nb: int, gpus: int, races: bool = True
+) -> list[Finding]:
+    """Stage 4 (per routine): run with the sanitizer on, then post-mortem."""
     platform = make_dgx1(gpus)
     rt = Runtime(platform, RuntimeOptions(verify_coherence=True))
     tasks = build_tasks(routine, n, nb)
@@ -109,14 +136,45 @@ def verify_executed_run(routine: str, n: int, nb: int, gpus: int) -> list[Findin
     findings += check_directory(rt.directory, platform)
     evictions = sum(int(c.stats()["evictions"]) for c in rt.caches.values())
     findings += lint_trace(rt.trace, platform, evictions=evictions)
+    if races:
+        findings += detect_races(rt.trace, rt.executor.graph)
     return [
         Finding(f.pass_name, f.code, f"{routine}: {f.subject}", f.message)
         for f in findings
     ]
 
 
+def verify_streaming_run(
+    routine: str, n: int, nb: int, gpus: int
+) -> list[Finding]:
+    """Stage 5: reclaiming streaming run; trace race check without a graph.
+
+    ``retain_tasks=False`` retires every task on completion, so the detector
+    sees transfers only — exactly the mode the reclamation-safety pass
+    protects, exercised end to end.
+    """
+    platform = make_dgx1(gpus)
+    rt = Runtime(
+        platform,
+        RuntimeOptions(
+            verify_coherence=True, streaming=True, retain_tasks=False
+        ),
+    )
+    rt.submit_stream(iter(build_tasks(routine, n, nb)))
+    rt.sync()
+    findings = check_directory(rt.directory, platform)
+    findings += lint_trace(rt.trace, platform)
+    findings += detect_races(rt.trace)
+    return [
+        Finding(
+            f.pass_name, f.code, f"streaming-{routine}: {f.subject}", f.message
+        )
+        for f in findings
+    ]
+
+
 def verify_distribution_phase(n: int, nb: int, gpus: int) -> list[Finding]:
-    """Stage 3 (extra): topology-aware trace rules on a distribution phase.
+    """Stage 4 (extra): topology-aware trace rules on a distribution phase.
 
     A 2D block-cyclic upload is a queue-delay-free, kernel-free stream — the
     window in which the strict T006/T007 rules are exact.
@@ -136,6 +194,64 @@ def verify_distribution_phase(n: int, nb: int, gpus: int) -> list[Finding]:
     ]
 
 
+def analysis_findings(
+    src: Path, baseline_path: Path, callgraph_cache: Path | None
+) -> list[Finding]:
+    """Stage 2: determinism + reclamation findings not pinned by the baseline."""
+    graph = load_or_build(src, callgraph_cache)
+    detailed = lint_determinism(src, graph=graph)
+    detailed += lint_reclamation(src)
+    return new_findings(detailed, load_baseline(baseline_path))
+
+
+#: static-pass subjects are ``relative/path.py:lineno``.
+_SUBJECT_LINE = re.compile(r"^(?P<path>[\w./-]+\.py):(?P<line>\d+)$")
+
+
+def github_annotations(findings: list[Finding], src: Path) -> list[str]:
+    """One GitHub Actions workflow command per finding.
+
+    Static findings (subject ``module.py:line``) annotate the exact file and
+    line; dynamic findings become file-less error commands.
+    """
+    try:
+        rel_src = src.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        rel_src = src
+    out: list[str] = []
+    for f in findings:
+        # Workflow commands terminate at a newline; escape the message's.
+        message = f"[{f.pass_name}:{f.code}] {f.message}".replace(
+            "%", "%25"
+        ).replace("\n", "%0A")
+        match = _SUBJECT_LINE.match(f.subject)
+        if match:
+            path = (rel_src / match["path"]).as_posix()
+            out.append(f"::error file={path},line={match['line']}::{message}")
+        else:
+            subject = f.subject.replace("%", "%25").replace("\n", "%0A")
+            out.append(f"::error title={f.pass_name} {f.code}::{subject}: {message}")
+    return out
+
+
+def findings_json(findings: list[Finding], exit_code: int) -> dict:
+    """The ``--json`` document: stable schema for CI tooling."""
+    return {
+        "schema": "repro.verify/1",
+        "exit": exit_code,
+        "count": len(findings),
+        "findings": [
+            {
+                "pass": f.pass_name,
+                "code": f.code,
+                "subject": f.subject,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify",
@@ -151,46 +267,116 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--nb", type=int, default=64, help="tile size")
     parser.add_argument("--gpus", type=int, default=4, help="simulated GPUs")
     parser.add_argument("--skip-lint", action="store_true")
+    parser.add_argument("--skip-determinism", action="store_true")
     parser.add_argument("--skip-graph", action="store_true")
     parser.add_argument("--skip-runtime", action="store_true")
+    parser.add_argument("--skip-races", action="store_true")
     parser.add_argument(
         "--fast", action="store_true", help="smaller problems (CI-friendly)"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="fingerprint baseline for the determinism stage "
+        "(default: <src>/verify/determinism_baseline.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from current findings and exit",
+    )
+    parser.add_argument(
+        "--callgraph-cache",
+        type=Path,
+        default=None,
+        help="JSON cache for the call-graph build (CI caches this file)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write findings as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="emit GitHub Actions ::error annotations per finding",
     )
     args = parser.parse_args(argv)
     n, nb = (128, 32) if args.fast else (args.n, args.nb)
     if n <= 0 or nb <= 0 or args.gpus <= 0:
         parser.error(f"--n, --nb and --gpus must be positive (got {n}, {nb}, {args.gpus})")
+    if not args.src.is_dir():
+        parser.error(f"--src {args.src} is not a directory")
+    baseline_path = args.baseline or args.src / "verify" / "determinism_baseline.json"
+
+    if args.write_baseline:
+        graph = load_or_build(args.src, args.callgraph_cache)
+        detailed = lint_determinism(args.src, graph=graph)
+        detailed += lint_reclamation(args.src)
+        write_baseline(baseline_path, detailed)
+        print(f"baseline: {len(detailed)} fingerprint(s) -> {baseline_path}")
+        return 0
 
     findings: list[Finding] = []
     if not args.skip_lint:
-        if not args.src.is_dir():
-            parser.error(f"--src {args.src} is not a directory")
         lint = lint_path(args.src)
         print(f"lint: {len(lint)} finding(s) over {args.src}")
         findings += lint
-    if not args.skip_graph:
-        graph = verify_built_graphs(n, nb)
-        print(
-            f"graph: {len(graph)} finding(s) over {len(ROUTINES)} built "
-            f"graphs (n={n}, nb={nb})"
+    if not args.skip_determinism:
+        analysis = analysis_findings(
+            args.src, baseline_path, args.callgraph_cache
         )
-        findings += graph
+        print(
+            f"determinism: {len(analysis)} unwaivered finding(s) not in "
+            f"baseline ({baseline_path.name})"
+        )
+        findings += analysis
+    if not args.skip_graph:
+        graph_findings = verify_built_graphs(n, nb)
+        print(
+            f"graph: {len(graph_findings)} finding(s) over {len(ROUTINES)} "
+            f"built graphs (n={n}, nb={nb})"
+        )
+        findings += graph_findings
     if not args.skip_runtime:
         runtime: list[Finding] = []
         for routine in ROUTINES:
-            runtime += verify_executed_run(routine, n, nb, args.gpus)
+            runtime += verify_executed_run(
+                routine, n, nb, args.gpus, races=not args.skip_races
+            )
         runtime += verify_distribution_phase(n, nb, args.gpus)
         print(
             f"runtime: {len(runtime)} finding(s) over {len(ROUTINES)} "
             f"sanitized runs + distribution phase ({args.gpus} GPUs)"
         )
         findings += runtime
+        if not args.skip_races:
+            streaming = verify_streaming_run("gemm", n, nb, args.gpus)
+            streaming += verify_streaming_run("composition", n, nb, args.gpus)
+            print(
+                f"streaming: {len(streaming)} finding(s) over 2 reclaiming "
+                "streamed runs"
+            )
+            findings += streaming
 
+    exit_code = 1 if findings else 0
+    if args.json is not None:
+        document = json.dumps(findings_json(findings, exit_code), indent=2)
+        if str(args.json) == "-":
+            print(document)
+        else:
+            args.json.write_text(document + "\n", encoding="utf-8")
+    if args.github:
+        for line in github_annotations(findings, args.src):
+            print(line)
     if findings:
         print(render_report(findings))
-        return 1
+        return exit_code
     print("OK: all verification passes are clean")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover
