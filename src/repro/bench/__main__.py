@@ -17,7 +17,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.bench.cache import PointCache
+from repro.bench.cache import SQLITE_SUFFIXES, PointCache
 from repro.bench.executor import SweepExecutor, set_default_executor
 from repro.bench.experiments import EXPERIMENTS
 
@@ -47,8 +47,10 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         const=".bench_cache",
         default=None,
-        metavar="DIR",
-        help="persist cell outcomes under DIR (default .bench_cache) across runs",
+        metavar="PATH",
+        help="persist cell outcomes across runs: a directory (default "
+             ".bench_cache) holding a JSON-lines store, or a .sqlite/.db "
+             "file for the concurrent-safe SQLite backend",
     )
     parser.add_argument(
         "--markdown",
@@ -67,9 +69,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    cache = PointCache(
-        Path(args.cache) / "points.jsonl" if args.cache else None
-    )
+    store_path = None
+    if args.cache:
+        store_path = Path(args.cache)
+        if store_path.suffix not in SQLITE_SUFFIXES:
+            store_path = store_path / "points.jsonl"
+    cache = PointCache(store_path)
     executor = SweepExecutor(jobs=args.jobs, cache=cache)
     # Install as the process default so every experiment — and the harness
     # helpers they call point by point — shares one memo: cells that several
@@ -92,6 +97,7 @@ def main(argv: list[str] | None = None) -> int:
                 failed += 1
     finally:
         executor.close()
+        cache.close()
         set_default_executor(previous)
     stats = executor.stats()
     print(

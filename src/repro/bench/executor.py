@@ -16,8 +16,10 @@ experiments in one ``all`` run collapse to a single simulation.
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable
 
@@ -68,22 +70,55 @@ class SweepExecutor:
     lazily on the first parallel batch and reused until :meth:`close`.
     """
 
-    def __init__(self, jobs: int | None = None, cache: PointCache | None = None):
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: PointCache | None = None,
+        start_method: str | None = None,
+    ):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.cache = cache if cache is not None else PointCache()
+        self.start_method = start_method
         self.cells_simulated = 0
         self._fingerprint = code_fingerprint()
+        self._stats_lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        """The code fingerprint every cache record of this executor is keyed on."""
+        return self._fingerprint
 
     # ------------------------------------------------------------- pooling
 
+    def _pick_start_method(self) -> str:
+        """Worker start method: explicit choice, else fork only while safe.
+
+        Fork is the cheapest start-up (workers inherit the loaded package,
+        immune to sys.path differences under spawn) — but forking a process
+        with live threads (the asyncio tuning server's dispatch threads)
+        clones locks in whatever state the other threads held them, which
+        can deadlock the child pool.  So fork is only auto-selected while
+        this process is single-threaded; otherwise forkserver/spawn.
+        """
+        available = multiprocessing.get_all_start_methods()
+        if self.start_method is not None:
+            if self.start_method not in available:
+                raise BenchmarkError(
+                    f"start method {self.start_method!r} unavailable; "
+                    f"choose from {available}"
+                )
+            return self.start_method
+        if "fork" in available and threading.active_count() == 1:
+            return "fork"
+        for method in ("forkserver", "spawn"):
+            if method in available:
+                return method
+        return available[0]
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            context = None
-            if "fork" in multiprocessing.get_all_start_methods():
-                # Workers inherit the loaded package; cheapest start-up and
-                # immune to sys.path differences under spawn.
-                context = multiprocessing.get_context("fork")
+            context = multiprocessing.get_context(self._pick_start_method())
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs, mp_context=context
             )
@@ -125,7 +160,8 @@ class SweepExecutor:
                 outcomes = list(pool.map(evaluate_cell, misses, chunksize=chunk))
             else:
                 outcomes = [evaluate_cell(spec) for spec in misses]
-            self.cells_simulated += len(misses)
+            with self._stats_lock:
+                self.cells_simulated += len(misses)
             for spec, outcome in zip(misses, outcomes):
                 self.cache.put(spec, self._fingerprint, outcome)
                 results[spec] = outcome
@@ -135,8 +171,23 @@ class SweepExecutor:
     def evaluate_one(self, spec: CellSpec) -> CellOutcome:
         return self.evaluate([spec])[spec]
 
+    async def evaluate_async(
+        self, specs: Iterable[CellSpec]
+    ) -> dict[CellSpec, CellOutcome]:
+        """:meth:`evaluate` off the event loop, for the asyncio service layer.
+
+        The batch runs on a worker thread so cache I/O and serial simulation
+        never block the loop; stats stay coherent because the cache and the
+        simulation counter are lock-guarded.  Concurrent calls are safe —
+        callers wanting single-simulation guarantees for identical concurrent
+        specs add single-flight on top (see :mod:`repro.tuning.service`).
+        """
+        return await asyncio.to_thread(self.evaluate, list(specs))
+
     def stats(self) -> dict[str, int]:
-        return {"cells_simulated": self.cells_simulated, **self.cache.stats()}
+        with self._stats_lock:
+            simulated = self.cells_simulated
+        return {"cells_simulated": simulated, **self.cache.stats()}
 
 
 # A process-wide default so harness helpers and experiments share one memo

@@ -7,6 +7,11 @@ simulator, tuning *is* in scope here: :class:`~repro.tuning.tuner.TileTuner`
 searches tile sizes cheaply (golden-section-style refinement over the
 power-of-two ladder) and caches results per (library, routine, size class) —
 the tool a downstream user would reach for before running a real workload.
+
+:mod:`repro.tuning.service` wraps the same search space in a long-running
+asyncio server (single-flight deduplication, batched cold-cell dispatch,
+shared persistent store), so many clients — and many server processes —
+answer tuning queries from one warm corpus.
 """
 
 from repro.tuning.tuner import TileTuner, TuningResult

@@ -1,0 +1,43 @@
+"""Tuning-as-a-service: a concurrent autotune server over the sweep stack.
+
+The offline story (PR 3) is one giant sweep through the
+:class:`~repro.bench.executor.SweepExecutor` and its persistent
+:class:`~repro.bench.cache.PointCache`.  This package serves the same pure
+evaluation core as a long-running asyncio service: concurrent "best
+(library, nb, placement) for my (routine, N, platform)" queries, warm cells
+answered from the shared store at cache speed, cold cells single-flighted
+(N identical concurrent queries cost one simulation) and batched to the
+worker pool, per-cell results streamed as they resolve.
+
+Run a server with ``python -m repro.tuning.service serve --store
+cache.sqlite``; query it with :class:`TuningClient` or ``python -m
+repro.tuning.service query gemm 16384``.
+"""
+
+from repro.tuning.service.client import (
+    TuningClient,
+    shutdown_sync,
+    stats_sync,
+    tune_sync,
+)
+from repro.tuning.service.protocol import (
+    CellReport,
+    ServiceError,
+    TuneQuery,
+    TuneReply,
+)
+from repro.tuning.service.server import SingleFlight, TuningServer, TuningService
+
+__all__ = [
+    "CellReport",
+    "ServiceError",
+    "SingleFlight",
+    "TuneQuery",
+    "TuneReply",
+    "TuningClient",
+    "TuningServer",
+    "TuningService",
+    "shutdown_sync",
+    "stats_sync",
+    "tune_sync",
+]

@@ -4,6 +4,12 @@ Strategy: evaluate the power-of-two ladder between ``min_nb`` and ``max_nb``
 (both clamped to sane fractions of N), then refine around the best rung with
 its two half-step neighbours (3·2ᵏ sizes).  Every evaluation is one simulated
 run — deterministic, so results are cacheable and exactly reproducible.
+
+A tuner built over a :class:`~repro.bench.cellspec.PlatformHandle` with a
+:class:`~repro.bench.executor.SweepExecutor` routes every evaluation through
+the executor's point cache — the configuration the tuning service uses, so
+server restarts and sibling processes share one warm corpus.  A raw
+:class:`~repro.topology.platform.Platform` keeps the direct, uncached path.
 """
 
 from __future__ import annotations
@@ -11,6 +17,8 @@ from __future__ import annotations
 import dataclasses
 import math
 
+from repro.bench.cellspec import PlatformHandle
+from repro.bench.executor import SweepExecutor
 from repro.bench.harness import run_point
 from repro.errors import BenchmarkError
 from repro.topology.platform import Platform
@@ -37,10 +45,11 @@ class TileTuner:
 
     def __init__(
         self,
-        platform: Platform,
+        platform: Platform | PlatformHandle,
         min_nb: int = 256,
         max_nb: int = 8192,
         max_tiles: int = 32,
+        executor: SweepExecutor | None = None,
     ) -> None:
         if min_nb <= 0 or max_nb < min_nb:
             raise BenchmarkError(f"invalid nb range [{min_nb}, {max_nb}]")
@@ -50,14 +59,19 @@ class TileTuner:
         #: tile sizes finer than n/max_tiles per dimension are not explored
         #: (task-graph size explodes, and they never won in our sweeps).
         self.max_tiles = max_tiles
+        self.executor = executor
         self._cache: dict[tuple[str, str, int, str], TuningResult] = {}
 
     # ------------------------------------------------------------ searching
 
     def _candidates(self, n: int) -> list[int]:
-        lo = max(self.min_nb, 1 << max(0, (n // self.max_tiles)).bit_length() - 1)
+        # Ladder floor: the smallest admissible tile — at least ``min_nb``
+        # and coarse enough that n/nb <= max_tiles — rounded up to the next
+        # power of two.  ceil() (not floor division) so the first rung never
+        # lands just below the max_tiles admission bound.
+        floor = max(self.min_nb, math.ceil(n / self.max_tiles))
+        nb = 1 << (floor - 1).bit_length()
         out = []
-        nb = 1 << int(math.ceil(math.log2(max(self.min_nb, n // self.max_tiles))))
         while nb <= min(self.max_nb, n // 2):
             out.append(nb)
             nb *= 2
@@ -71,34 +85,55 @@ class TileTuner:
         scenario: str = "host",
         refine: bool = True,
     ) -> TuningResult:
-        """Find the best tile size for one problem size."""
+        """Find the best tile size for one problem size.
+
+        Raises :class:`BenchmarkError` when no candidate is admissible (every
+        nb in range violates ``nb < n`` or ``n/nb <= max_tiles`` — e.g.
+        ``n <= min_nb``): a zero-TFlop/s "recommendation" must never be
+        computed, cached, or served.
+        """
         key = (library, routine, n, scenario)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
         evaluated: dict[int, float] = {}
+        rejected: set[int] = set()
 
         def measure(nb: int) -> float:
             nb = int(nb)
             if nb in evaluated:
                 return evaluated[nb]
             if nb >= n or n / nb > self.max_tiles:
+                rejected.add(nb)
                 evaluated[nb] = 0.0
                 return 0.0
-            res = run_point(library, routine, n, nb, self.platform, scenario=scenario)
+            res = run_point(
+                library, routine, n, nb, self.platform,
+                scenario=scenario, executor=self.executor,
+            )
             evaluated[nb] = res.tflops
             return res.tflops
 
-        ladder = self._candidates(n)
-        for nb in ladder:
+        for nb in self._candidates(n):
             measure(nb)
-        best_nb = max(evaluated, key=evaluated.get)
-        if refine:
-            # Probe the 1.5x midpoints around the winning rung.
-            for cand in (best_nb * 3 // 4, best_nb * 3 // 2):
-                cand = max(self.min_nb, min(cand, self.max_nb))
-                measure(cand)
-            best_nb = max(evaluated, key=evaluated.get)
+        measured = {nb: tf for nb, tf in evaluated.items() if nb not in rejected}
+        if measured:
+            best_nb = max(measured, key=measured.get)
+            if refine:
+                # Probe the 1.5x midpoints around the winning rung.
+                for cand in (best_nb * 3 // 4, best_nb * 3 // 2):
+                    cand = max(self.min_nb, min(cand, self.max_nb))
+                    measure(cand)
+                measured = {
+                    nb: tf for nb, tf in evaluated.items() if nb not in rejected
+                }
+                best_nb = max(measured, key=measured.get)
+        else:
+            raise BenchmarkError(
+                f"no admissible tile size for {library}/{routine} n={n}: "
+                f"candidates {sorted(evaluated)} in [{self.min_nb}, {self.max_nb}] "
+                f"all rejected by nb < n and n/nb <= {self.max_tiles}"
+            )
         result = TuningResult(
             library=library,
             routine=routine,

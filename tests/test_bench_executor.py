@@ -95,6 +95,43 @@ def test_set_default_executor_restores():
     assert default_executor() is original
 
 
+def test_start_method_explicit_choice_validated():
+    from repro.errors import BenchmarkError
+
+    with SweepExecutor(jobs=2, start_method="spawn") as ex:
+        assert ex._pick_start_method() == "spawn"
+    with SweepExecutor(jobs=2, start_method="not-a-method") as ex:
+        with pytest.raises(BenchmarkError, match="unavailable"):
+            ex._pick_start_method()
+
+
+def test_start_method_avoids_fork_with_live_threads(monkeypatch):
+    # Forking with live threads (the asyncio server's dispatch threads)
+    # clones locks mid-flight; the auto choice must fall back.
+    import threading
+
+    import repro.bench.executor as executor_mod
+
+    with SweepExecutor(jobs=2) as ex:
+        monkeypatch.setattr(executor_mod.threading, "active_count", lambda: 1)
+        if "fork" in __import__("multiprocessing").get_all_start_methods():
+            assert ex._pick_start_method() == "fork"
+        monkeypatch.setattr(executor_mod.threading, "active_count", lambda: 3)
+        assert ex._pick_start_method() in ("forkserver", "spawn")
+    assert threading.active_count() >= 1  # the real function is untouched
+
+
+def test_evaluate_async_matches_sync():
+    import asyncio
+
+    with SweepExecutor(jobs=1) as ex:
+        specs = _specs()
+        sync_outcomes = ex.evaluate(specs)
+        async_outcomes = asyncio.run(ex.evaluate_async(specs))
+        assert async_outcomes == sync_outcomes
+        assert ex.cells_simulated == len(specs)  # second pass was all memo hits
+
+
 def test_parallel_results_bit_identical_to_serial():
     # The tentpole contract: --jobs N changes wall time, never numbers.
     # A reduced Fig. 3 slice (one routine, one size, all four curves) runs

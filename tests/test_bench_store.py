@@ -1,0 +1,222 @@
+"""Tests for the pluggable point-store backends under concurrency.
+
+The store contract the tuning service depends on: concurrent writer
+*processes* lose no records and corrupt no lines (JSONL appends are one
+O_APPEND write; SQLite runs WAL with upsert-on-key), duplicate records
+collapse, and a legacy JSON-lines store migrates into SQLite losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.bench.cache import (
+    JsonlStore,
+    PointCache,
+    SqliteStore,
+    open_store,
+)
+from repro.bench.cellspec import CellOutcome, CellSpec
+
+SPEC = CellSpec(library="xkblas", routine="gemm", n=8192, nb=1024)
+OUTCOME = CellOutcome(ok=True, tflops=40.0, seconds=0.1, flops=4e12)
+
+
+# ------------------------------------------------------------------ dispatch
+
+
+def test_open_store_dispatches_on_suffix(tmp_path):
+    assert isinstance(open_store(tmp_path / "points.jsonl"), JsonlStore)
+    assert isinstance(open_store(tmp_path / "points.txt"), JsonlStore)
+    for suffix in (".sqlite", ".sqlite3", ".db"):
+        store = open_store(tmp_path / f"points{suffix}")
+        assert isinstance(store, SqliteStore)
+        store.close()
+
+
+def test_point_cache_accepts_explicit_store(tmp_path):
+    store = SqliteStore(tmp_path / "points.sqlite")
+    cache = PointCache(store=store)
+    assert cache.persistent
+    assert cache.path == store.path
+    cache.put(SPEC, "fp", OUTCOME)
+    assert PointCache(tmp_path / "points.sqlite").get(SPEC, "fp") == OUTCOME
+    cache.close()
+
+
+# --------------------------------------------------------------- JSONL store
+
+
+def test_jsonl_append_writes_one_complete_line(tmp_path):
+    path = tmp_path / "points.jsonl"
+    store = JsonlStore(path)
+    store.append(SPEC.cache_key(), "fp", OUTCOME.to_json())
+    (line,) = path.read_text().splitlines()
+    record = json.loads(line)
+    assert record["key"] == SPEC.cache_key()
+    assert record["outcome"]["tflops"] == 40.0
+
+
+def test_jsonl_duplicate_records_collapse_on_load(tmp_path):
+    path = tmp_path / "points.jsonl"
+    store = JsonlStore(path)
+    for _ in range(3):  # racing writers append the same cold cell
+        store.append(SPEC.cache_key(), "fp", OUTCOME.to_json())
+    assert len(path.read_text().splitlines()) == 3
+    assert len(list(store.load())) == 1
+    assert len(PointCache(path)) == 1
+
+
+# -------------------------------------------------------------- SQLite store
+
+
+def test_sqlite_round_trip_and_upsert(tmp_path):
+    store = SqliteStore(tmp_path / "points.sqlite")
+    store.append(SPEC.cache_key(), "fp", OUTCOME.to_json())
+    store.append(SPEC.cache_key(), "fp", OUTCOME.to_json())  # upsert, no dup
+    assert len(store) == 1
+    assert store.lookup(SPEC.cache_key(), "fp") == OUTCOME.to_json()
+    assert store.lookup(SPEC.cache_key(), "other-fp") is None
+    records = list(store.load())
+    assert records == [(SPEC.cache_key(), "fp", OUTCOME.to_json())]
+    store.close()
+
+
+def test_sqlite_cache_round_trip_with_hit_attribution(tmp_path):
+    path = tmp_path / "points.db"
+    writer = PointCache(path)
+    writer.put(SPEC, "fp", OUTCOME)
+    writer.close()
+    reader = PointCache(path)
+    assert reader.get(SPEC, "fp") == OUTCOME
+    assert reader.stats()["store_hits"] == 1
+    # A different fingerprint must never serve the stale record.
+    assert reader.get(SPEC, "fp-new") is None
+    reader.close()
+
+
+def test_sqlite_live_lookup_shares_writes_across_cache_instances(tmp_path):
+    # Two caches over one database, as two server processes would hold:
+    # a miss in B's memo re-checks the store and sees A's fresh write.
+    path = tmp_path / "points.sqlite"
+    cache_a = PointCache(path)
+    cache_b = PointCache(path)  # loaded while the store was empty
+    cache_a.put(SPEC, "fp", OUTCOME)
+    assert cache_b.get(SPEC, "fp") == OUTCOME
+    assert cache_b.stats()["store_hits"] == 1
+    assert cache_b.stats()["misses"] == 0
+    cache_a.close()
+    cache_b.close()
+
+
+def test_contains_is_a_non_counting_peek(tmp_path):
+    cache = PointCache(tmp_path / "points.sqlite")
+    assert not cache.contains(SPEC, "fp")
+    cache.put(SPEC, "fp", OUTCOME)
+    assert cache.contains(SPEC, "fp")
+    assert cache.stats()["memo_hits"] == 0
+    assert cache.stats()["misses"] == 0
+    cache.close()
+
+
+# ------------------------------------------------------- multi-process writes
+
+WRITERS = 4
+RECORDS_PER_WRITER = 25
+
+
+def _fork_context():
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    return multiprocessing.get_context("fork")
+
+
+def _write_records(path: str, writer_idx: int) -> None:
+    store = open_store(path)
+    for i in range(RECORDS_PER_WRITER):
+        spec = CellSpec(
+            library="xkblas", routine="gemm",
+            n=1024 * (writer_idx + 1), nb=64 + i,
+        )
+        outcome = {"ok": True, "tflops": float(writer_idx * 1000 + i)}
+        store.append(spec.cache_key(), "fp", outcome)
+    store.close()
+
+
+@pytest.mark.parametrize("filename", ["points.jsonl", "points.sqlite"])
+def test_concurrent_writer_processes_lose_nothing(tmp_path, filename):
+    path = tmp_path / filename
+    ctx = _fork_context()
+    procs = [
+        ctx.Process(target=_write_records, args=(str(path), idx))
+        for idx in range(WRITERS)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+    store = open_store(path)
+    records = {(key, fp): payload for key, fp, payload in store.load()}
+    store.close()
+    assert len(records) == WRITERS * RECORDS_PER_WRITER
+    expected = {
+        float(idx * 1000 + i)
+        for idx in range(WRITERS)
+        for i in range(RECORDS_PER_WRITER)
+    }
+    assert {payload["tflops"] for payload in records.values()} == expected
+
+
+def test_concurrent_jsonl_appends_never_interleave_partial_lines(tmp_path):
+    path = tmp_path / "points.jsonl"
+    ctx = _fork_context()
+    procs = [
+        ctx.Process(target=_write_records, args=(str(path), idx))
+        for idx in range(WRITERS)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=120)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == WRITERS * RECORDS_PER_WRITER
+    for line in lines:  # every line parses: no torn interleavings
+        record = json.loads(line)
+        assert set(record) == {"key", "fingerprint", "outcome"}
+
+
+# ------------------------------------------------------------------ migration
+
+
+def test_jsonl_to_sqlite_migration_round_trip(tmp_path):
+    jsonl_path = tmp_path / "legacy.jsonl"
+    legacy = PointCache(jsonl_path)
+    specs = [
+        CellSpec(library="xkblas", routine="gemm", n=4096 * i, nb=1024)
+        for i in range(1, 5)
+    ]
+    for i, spec in enumerate(specs):
+        legacy.put(spec, "fp", CellOutcome(ok=True, tflops=float(i), seconds=0.1))
+    legacy.put(specs[0], "other-fp", CellOutcome(ok=False, error="boom"))
+    legacy.close()
+    # Simulate pre-upgrade duplicate growth: re-append existing records.
+    store = JsonlStore(jsonl_path)
+    store.append(specs[0].cache_key(), "fp", {"ok": True, "tflops": 0.0, "seconds": 0.1})
+    assert len(jsonl_path.read_text().splitlines()) == 6
+
+    sqlite_path = tmp_path / "migrated.sqlite"
+    dst = SqliteStore(sqlite_path)
+    imported = dst.import_jsonl(jsonl_path)
+    assert imported == 5  # duplicates compacted to unique (key, fingerprint)
+    assert len(dst) == 5
+    dst.close()
+
+    migrated = PointCache(sqlite_path)
+    for i, spec in enumerate(specs):
+        assert migrated.get(spec, "fp").tflops == float(i)
+    assert migrated.get(specs[0], "other-fp").ok is False
+    migrated.close()

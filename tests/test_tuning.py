@@ -70,3 +70,56 @@ def test_scenario_cached_separately(tuner):
     host = tuner.tune("xkblas", "gemm", 8192)
     dod = tuner.tune("xkblas", "gemm", 8192, scenario="device")
     assert host is not dod
+
+
+def test_small_n_candidates_do_not_crash():
+    # Regression: the ladder floor used to evaluate
+    # 1 << ((n // max_tiles).bit_length() - 1), a negative shift whenever
+    # n < max_tiles.
+    tuner = TileTuner(make_dgx1(2), min_nb=1, max_nb=64, max_tiles=32)
+    for n in (2, 4, 16, 31):
+        candidates = tuner._candidates(n)
+        assert candidates
+        assert all(nb >= 1 for nb in candidates)
+    result = tuner.tune("xkblas", "gemm", 16, refine=False)
+    assert result.best_nb < 16
+    assert result.best_tflops > 0
+
+
+def test_ladder_floor_respects_max_tiles_admission():
+    tuner = TileTuner(make_dgx1(2), min_nb=64, max_nb=8192, max_tiles=8)
+    # ceil(8200/8) = 1025 -> first rung 2048; floor division would have
+    # started at 1024, which the n/nb <= max_tiles guard then rejects.
+    assert tuner._candidates(8200)[0] == 2048
+
+
+def test_all_candidates_rejected_raises_not_zero():
+    tuner = TileTuner(make_dgx1(2), min_nb=512, max_nb=4096)
+    with pytest.raises(BenchmarkError, match="no admissible tile size"):
+        tuner.tune("xkblas", "gemm", 256)  # n <= min_nb: nothing admissible
+    # The failure must not poison the memo with a zero recommendation.
+    with pytest.raises(BenchmarkError):
+        tuner.tune("xkblas", "gemm", 256)
+
+
+def test_executor_routed_tuner_matches_direct_and_caches():
+    from repro.bench.cellspec import PlatformHandle
+    from repro.bench.executor import SweepExecutor
+
+    direct = TileTuner(make_dgx1(4), min_nb=512, max_nb=4096).tune(
+        "xkblas", "gemm", 8192, refine=False
+    )
+    with SweepExecutor(jobs=1) as ex:
+        handle = PlatformHandle("dgx1", 4)
+        served = TileTuner(handle, min_nb=512, max_nb=4096, executor=ex).tune(
+            "xkblas", "gemm", 8192, refine=False
+        )
+        simulated = ex.cells_simulated
+        # A fresh tuner over the same executor answers from the point cache.
+        again = TileTuner(handle, min_nb=512, max_nb=4096, executor=ex).tune(
+            "xkblas", "gemm", 8192, refine=False
+        )
+        assert ex.cells_simulated == simulated
+    assert served.best_nb == direct.best_nb
+    assert served.evaluated == direct.evaluated
+    assert again.evaluated == served.evaluated
