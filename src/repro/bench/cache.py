@@ -303,7 +303,13 @@ class PointCache:
     def __len__(self) -> int:
         return len(self._memo)
 
-    def get(self, spec: CellSpec, fingerprint: str) -> CellOutcome | None:
+    def get_memo(self, spec: CellSpec, fingerprint: str) -> CellOutcome | None:
+        """Memo-only lookup: no store I/O, safe to call on an event loop.
+
+        A hit counts toward hit stats exactly like :meth:`get`; a miss counts
+        nothing — callers that care follow up with :meth:`get` (off-loop for
+        stores with live lookups), which does the store-hit/miss accounting.
+        """
         key = (spec.cache_key(), fingerprint)
         with self._lock:
             outcome = self._memo.get(key)
@@ -312,7 +318,13 @@ class PointCache:
                     self.store_hits += 1
                 else:
                     self.memo_hits += 1
-                return outcome
+            return outcome
+
+    def get(self, spec: CellSpec, fingerprint: str) -> CellOutcome | None:
+        outcome = self.get_memo(spec, fingerprint)
+        if outcome is not None:
+            return outcome
+        key = (spec.cache_key(), fingerprint)
         if self.store is not None:
             # Memo miss: another process may have filled the cell since we
             # loaded — ask the store before declaring a (simulating) miss.

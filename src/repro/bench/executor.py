@@ -82,6 +82,7 @@ class SweepExecutor:
         self.cells_simulated = 0
         self._fingerprint = code_fingerprint()
         self._stats_lock = threading.Lock()
+        self._pool_lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
 
     @property
@@ -117,17 +118,22 @@ class SweepExecutor:
         return available[0]
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            context = multiprocessing.get_context(self._pick_start_method())
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=context
-            )
-        return self._pool
+        # evaluate_async batches overlap, so creation is check-and-set under
+        # a lock — racing threads must never overwrite (and thereby leak the
+        # live workers of) each other's pool.
+        with self._pool_lock:
+            if self._pool is None:
+                context = multiprocessing.get_context(self._pick_start_method())
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=context
+                )
+            return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> SweepExecutor:
         return self

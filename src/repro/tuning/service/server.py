@@ -42,7 +42,9 @@ class SingleFlight:
 
     :meth:`claim` returns ``(future, owned)``: the first claimant of a key
     owns it (must eventually resolve the future); later claimants of the
-    same key get the same future with ``owned=False`` and just await it.
+    same key get the same future with ``owned=False`` and await it — always
+    through :func:`asyncio.shield`, so one cancelled waiter cannot cancel
+    the shared computation out from under the others.
     Keys free themselves when their future completes — by then the point
     cache holds the outcome, so re-claims only happen after an eviction
     (never, in practice) or a fingerprint change.
@@ -92,9 +94,33 @@ class TuningService:
                 f"n/nb <= 32"
             )
         fingerprint = self.executor.fingerprint
+        cache = self.executor.cache
+        hits: dict[CellSpec, CellOutcome] = {}
+        cold: list[CellSpec] = []
+        for spec in specs:
+            hit = cache.get_memo(spec, fingerprint)
+            if hit is not None:
+                hits[spec] = hit
+            else:
+                cold.append(spec)
+        if cold:
+            # The store re-check is synchronous I/O behind the store's lock,
+            # which an off-loop evaluate batch may be holding — run it on a
+            # worker thread (one hop for every cold cell of the query) so the
+            # event loop never stalls on it.  Memory-only caches have no I/O;
+            # the inline call just keeps the miss accounting of ``get``.
+            if cache.persistent:
+                found = await asyncio.to_thread(
+                    lambda: [(s, cache.get(s, fingerprint)) for s in cold]
+                )
+            else:
+                found = [(s, cache.get(s, fingerprint)) for s in cold]
+            hits.update((s, hit) for s, hit in found if hit is not None)
+        # Claim every remaining miss in one synchronous stretch, so all cold
+        # cells of this query land in the same flush batch.
         plan: list[tuple[CellSpec, str, CellOutcome | asyncio.Future]] = []
         for spec in specs:
-            hit = self.executor.cache.get(spec, fingerprint)
+            hit = hits.get(spec)
             if hit is not None:
                 plan.append((spec, protocol.SOURCE_CACHE, hit))
                 continue
@@ -110,7 +136,11 @@ class TuningService:
             if isinstance(pending, CellOutcome):
                 outcome = pending
             else:
-                outcome = await pending
+                # Shielded: cancelling this waiter (client disconnect cancels
+                # its dispatch task) must not cancel the shared single-flight
+                # future other connections are awaiting, nor free its key
+                # while the batch still runs.
+                outcome = await asyncio.shield(pending)
             simulated += source == protocol.SOURCE_SIMULATED
             report = protocol.report_from_outcome(spec, outcome, source)
             reports.append(report)
@@ -158,12 +188,21 @@ class TuningService:
         specs = [spec for spec, _ in batch]
         try:
             outcomes = await self.executor.evaluate_async(specs)
-        except Exception as exc:  # noqa: BLE001 — fan the failure out to waiters
-            for _, future in batch:
-                if not future.done():
-                    future.set_exception(
-                        BenchmarkError(f"batch evaluation failed: {exc}")
-                    )
+        except Exception:  # noqa: BLE001 — isolate the failure per cell
+            # A batch fails as one unit, but its cells were coalesced from
+            # unrelated queries: retry each alone so one poisoned spec cannot
+            # opaquely fail the others, and name the cell in terminal errors.
+            for spec, future in batch:
+                try:
+                    outcome = (await self.executor.evaluate_async([spec]))[spec]
+                except Exception as exc:  # noqa: BLE001
+                    if not future.done():
+                        future.set_exception(BenchmarkError(
+                            f"evaluation failed for {spec.cache_key()}: {exc}"
+                        ))
+                else:
+                    if not future.done():
+                        future.set_result(outcome)
         else:
             for spec, future in batch:
                 if not future.done():

@@ -63,6 +63,26 @@ def test_memory_cache_hit_miss_accounting():
     }
 
 
+def test_get_memo_peeks_without_store_io(tmp_path):
+    # The event-loop-safe half of a lookup: hits count like get's, misses
+    # count nothing and never touch the store.
+    path = tmp_path / "points.sqlite"
+    cache = PointCache(path)
+    assert cache.get_memo(SPEC, "fp") is None
+    assert cache.stats()["misses"] == 0  # a memo peek is not a miss
+    other = PointCache(path)
+    other.put(SPEC, "fp", OUTCOME)
+    # The record exists in the shared store but not in this memo yet:
+    # get_memo must stay blind to it, the full get must find it.
+    assert cache.get_memo(SPEC, "fp") is None
+    assert cache.get(SPEC, "fp") == OUTCOME
+    assert cache.stats()["store_hits"] == 1
+    assert cache.get_memo(SPEC, "fp") == OUTCOME
+    assert cache.stats()["store_hits"] == 2
+    cache.close()
+    other.close()
+
+
 def test_put_is_idempotent(tmp_path):
     path = tmp_path / "points.jsonl"
     cache = PointCache(path)

@@ -121,6 +121,40 @@ def test_start_method_avoids_fork_with_live_threads(monkeypatch):
     assert threading.active_count() >= 1  # the real function is untouched
 
 
+def test_ensure_pool_single_instance_under_racing_threads(monkeypatch):
+    # Concurrent evaluate_async batches can hit _ensure_pool simultaneously;
+    # a check-then-create race would leak a pool of live worker processes.
+    import threading
+
+    import repro.bench.executor as executor_mod
+
+    created = []
+
+    class FakePool:
+        def __init__(self, max_workers=None, mp_context=None):
+            created.append(self)
+
+        def shutdown(self):
+            pass
+
+    monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", FakePool)
+    with SweepExecutor(jobs=2) as ex:
+        barrier = threading.Barrier(8)
+        pools = []
+
+        def grab():
+            barrier.wait()
+            pools.append(ex._ensure_pool())
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(created) == 1
+        assert all(pool is created[0] for pool in pools)
+
+
 def test_evaluate_async_matches_sync():
     import asyncio
 

@@ -175,6 +175,56 @@ def test_sequential_repeat_is_a_pure_cache_hit():
         [(c.nb, c.tflops) for c in second.cells]
 
 
+def test_cancelled_waiter_does_not_cancel_shared_flight():
+    # A client disconnect cancels its dispatch task mid-await; the shared
+    # single-flight future must survive for the coalesced waiters on other
+    # connections (and the in-flight key must stay claimed).
+    async def go():
+        executor = CountingExecutor(delay=0.1)
+        service = TuningService(executor)
+        survivors = [asyncio.ensure_future(service.tune(QUERY)) for _ in range(2)]
+        await asyncio.sleep(0)  # let the survivors claim the cells
+        victim = asyncio.ensure_future(service.tune(QUERY))
+        await asyncio.sleep(0.02)  # batch dispatched, everyone awaiting
+        victim.cancel()
+        replies = await asyncio.gather(*survivors)
+        with pytest.raises(asyncio.CancelledError):
+            await victim
+        return executor, replies
+
+    executor, replies = asyncio.run(go())
+    assert executor.cells_simulated == 2  # still exactly one per cell
+    assert all(reply.best.nb == 2048 for reply in replies)
+    assert all(reply.best.tflops == 2048.0 for reply in replies)
+
+
+def test_batch_failure_falls_back_to_per_spec_evaluation():
+    # One poisoned spec in a coalesced batch must not fail unrelated
+    # queries: the flush retries each cell alone, and the terminal error
+    # names the cell that actually failed.
+    poison = TuneQuery(routine="gemm", n=8192, tiles=(1024,))
+    good = TuneQuery(routine="syrk", n=8192, tiles=(2048,))
+
+    class PoisonExecutor(CountingExecutor):
+        def evaluate(self, specs):
+            specs = list(specs)
+            if any(s.routine == "gemm" for s in specs):
+                raise RuntimeError("worker lost")
+            return super().evaluate(specs)
+
+    async def go():
+        service = TuningService(PoisonExecutor())
+        return await asyncio.gather(
+            service.tune(poison), service.tune(good), return_exceptions=True
+        )
+
+    bad, ok = asyncio.run(go())
+    assert isinstance(bad, BenchmarkError)
+    assert "gemm" in str(bad) and "worker lost" in str(bad)
+    assert not isinstance(ok, Exception)
+    assert ok.best.nb == 2048
+
+
 def test_inadmissible_query_raises_not_zero():
     async def go():
         service = TuningService(CountingExecutor())
