@@ -24,8 +24,16 @@ Usage::
     python -m repro.bench.perfbench --fast          # CI smoke subset
     python -m repro.bench.perfbench --skip-large    # full suite minus large-N
     python -m repro.bench.perfbench --large-smoke   # reduced large-N memory gate
-    python -m repro.bench.perfbench --profile       # cProfile the macro GEMM
+    python -m repro.bench.perfbench --profile       # cProfile the headline point
+    python -m repro.bench.perfbench --profile macro-trsm-n16384   # ...any point
     python -m repro.bench.perfbench --check-against BENCH_runtime.json
+
+Macro wall times are measured in the configuration a production-sized run
+would use: event tracing off (so the fused dispatch path is active — a
+recorder forces the unfused fallback) and the cyclic garbage collector
+paused for the timed region (the task graph is one big cycle web; a mid-run
+collection is pure noise).  Virtual-time fields are identical either way —
+that is the fusion contract the goldens pin down.
 
 The large-N tier (perf-mode GEMM N=131072, a 262k-task graph) exists to prove
 the streaming/reclamation path scales: it is recorded with peak-memory
@@ -45,6 +53,7 @@ import time
 import tracemalloc
 from pathlib import Path
 
+from repro import config
 from repro.bench.harness import run_point
 from repro.sim.engine import Simulator
 from repro.topology.dgx1 import make_dgx1
@@ -99,6 +108,9 @@ class BenchResult:
     nb: int | None = None
     makespan_s: float | None = None
     tasks: int | None = None
+    #: engine events fired per completed task — the quantity the fused
+    #: dispatch attacks (macro rows only; micros have no tasks).
+    events_per_task: float | None = None
     transfers: dict[str, int] | None = None
     #: tracemalloc high-water of a separate, untimed replay of the same point
     #: (tracing would skew the wall-time measurement, so it never shares a
@@ -173,18 +185,30 @@ def bench_macro(name: str, routine: str, n: int, nb: int,
                 measure_peak: bool = True) -> BenchResult:
     """One perf-mode routine invocation on the simulated 8-GPU DGX-1.
 
-    The wall-time measurement runs untraced; when ``measure_peak`` is set the
-    point is replayed under tracemalloc for the memory column (simulated
-    behaviour is deterministic, so the replay is the same run).
+    The timed run uses the production configuration: event tracing OFF (a
+    recorder forces the unfused dispatch fallback — see
+    :mod:`repro.runtime.executor`) and the cyclic GC paused, so the wall time
+    measures the fused runtime rather than trace bookkeeping and collector
+    pauses.  Virtual-time fields are bit-identical in either configuration.
+    When ``measure_peak`` is set the point is replayed under tracemalloc for
+    the memory column (simulated behaviour is deterministic, so the replay is
+    the same run).
     """
     plat = make_dgx1(8)
     # The previous point's task graph is one big cycle web (Task.successors);
     # collect it now so its collection is not billed to this measurement.
     gc.collect()
-    t0 = time.perf_counter()
-    res = run_point(routine=routine, library="xkblas", n=n, nb=nb,
-                    platform=plat, keep_runtime=True)
-    wall = time.perf_counter() - t0
+    prev_trace = config.TRACE_EVENTS
+    config.TRACE_EVENTS = False
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        res = run_point(routine=routine, library="xkblas", n=n, nb=nb,
+                        platform=plat, keep_runtime=True)
+        wall = time.perf_counter() - t0
+    finally:
+        gc.enable()
+        config.TRACE_EVENTS = prev_trace
     rt = res.runtime
     assert rt is not None
     events = rt.sim.events_fired
@@ -209,6 +233,7 @@ def bench_macro(name: str, routine: str, n: int, nb: int,
         events=events,
         events_per_s=events / wall if wall > 0 else 0.0,
         tasks=tasks,
+        events_per_task=events / tasks if tasks else None,
         transfers=transfers,
         peak_mem_bytes=peak,
     )
@@ -469,16 +494,18 @@ def suite_to_json(results: list[BenchResult], fast: bool) -> dict:
 def render(results: list[BenchResult]) -> str:
     lines = [
         f"{'benchmark':28}  {'wall (s)':>9}  {'events':>8}  {'events/s':>10}  "
-        f"{'makespan (s)':>12}  {'peak MB':>8}"
+        f"{'ev/task':>7}  {'makespan (s)':>12}  {'peak MB':>8}"
     ]
     lines.append("-" * len(lines[0]))
     for r in results:
         mk = f"{r.makespan_s:.6f}" if r.makespan_s is not None else "-"
         pk = (f"{r.peak_mem_bytes / 1e6:.1f}"
               if r.peak_mem_bytes is not None else "-")
+        ept = (f"{r.events_per_task:.2f}"
+               if r.events_per_task is not None else "-")
         lines.append(
             f"{r.name:28}  {r.wall_s:9.3f}  {r.events:8d}  "
-            f"{r.events_per_s:10.0f}  {mk:>12}  {pk:>8}"
+            f"{r.events_per_s:10.0f}  {ept:>7}  {mk:>12}  {pk:>8}"
         )
     return "\n".join(lines)
 
@@ -537,21 +564,37 @@ def compare_to_baseline(
 # -------------------------------------------------------------- profiling
 
 
-def profile_macro(fast: bool = False) -> str:
-    """cProfile the headline macro point; returns the top-30 report."""
+def profile_macro(point: str | None = None, fast: bool = False) -> str:
+    """cProfile one macro point; returns the top-30 report.
+
+    ``point`` names any entry of :data:`MACRO_POINTS` or
+    :data:`FAST_MACRO_POINTS`; ``None`` profiles the headline point (the
+    first macro point, or the first fast point under ``fast``).  The profiled
+    run skips the peak-memory replay — tracemalloc under cProfile measures
+    neither thing well.
+    """
     import cProfile
     import io
     import pstats
 
-    name, routine, n, nb = (FAST_MACRO_POINTS if fast else MACRO_POINTS)[0]
+    candidates = {p[0]: p for p in MACRO_POINTS + FAST_MACRO_POINTS}
+    if point is None:
+        name, routine, n, nb = (FAST_MACRO_POINTS if fast else MACRO_POINTS)[0]
+    elif point in candidates:
+        name, routine, n, nb = candidates[point]
+    else:
+        raise SystemExit(
+            f"unknown benchmark point {point!r}; choose from "
+            f"{', '.join(sorted(candidates))}"
+        )
     prof = cProfile.Profile()
     prof.enable()
-    bench_macro(name, routine, n, nb)
+    bench_macro(name, routine, n, nb, measure_peak=False)
     prof.disable()
     out = io.StringIO()
     stats = pstats.Stats(prof, stream=out).sort_stats("tottime")
     stats.print_stats(30)
-    return out.getvalue()
+    return f"profile: {name} ({routine}, n={n}, nb={nb})\n" + out.getvalue()
 
 
 # -------------------------------------------------------------------- CLI
@@ -580,12 +623,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail on regression vs a recorded baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="allowed events/s drop vs baseline (default 0.30)")
-    parser.add_argument("--profile", action="store_true",
-                        help="cProfile the headline macro point and exit")
+    parser.add_argument("--profile", nargs="?", const="__headline__",
+                        default=None, metavar="NAME",
+                        help="cProfile a macro point and exit (default: the "
+                             "headline point; pass any macro benchmark name)")
     args = parser.parse_args(argv)
 
-    if args.profile:
-        print(profile_macro(fast=args.fast))
+    if args.profile is not None:
+        point = None if args.profile == "__headline__" else args.profile
+        print(profile_macro(point=point, fast=args.fast))
         return 0
 
     if args.large_smoke:

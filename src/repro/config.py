@@ -77,6 +77,23 @@ PAPER_TILE_SIZES = (1024, 2048, 4096)
 #: Extended tile sizes used for cuBLAS-XT and SLATE in the paper.
 PAPER_TILE_SIZES_EXTENDED = (1024, 2048, 4096, 8192, 16384)
 
+# --- runtime dispatch ----------------------------------------------------------
+
+#: Default of ``RuntimeOptions.fused_events``: collapse per-task submission
+#: bookkeeping chains into fused engine events (see ``runtime/executor.py``,
+#: "Fused-event dispatch").  Virtual-time output is bit-identical either way;
+#: fusion only reduces engine dispatches and Python overhead.  Automatically
+#: falls back to unfused dispatch when a trace recorder is enabled, so traces
+#: and the race detector keep seeing one event per submission.
+FUSED_EVENTS = True
+
+#: Default of ``RuntimeOptions.trace``: record the nvprof-like interval trace.
+#: On by default (traces feed the verification suite and golden recordings);
+#: perfbench flips the module flag around its macro measurements so the timed
+#: hot path is the production configuration — no trace append per interval,
+#: fused dispatch active.
+TRACE_EVENTS = True
+
 # --- verification -------------------------------------------------------------
 
 #: Default of ``RuntimeOptions.verify_coherence``: run the coherence-protocol

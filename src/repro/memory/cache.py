@@ -205,6 +205,21 @@ class DeviceCache:
             entry.last_use = now
         return True
 
+    def access_hit_pin(self, key: TileKey, now: float) -> bool:
+        """Fused :meth:`access_hit` + :meth:`pin_if_resident` for the launch
+        fast path: the executor pins every resident input it just touched, so
+        one resident lookup serves the hit/miss accounting, the recency bump
+        and the pin.  Returns True when the tile was resident (and pinned)."""
+        entry = self._resident.get(key)
+        if entry is None:
+            self.misses += 1
+            return False
+        self.hits += 1
+        if now > entry.last_use:
+            entry.last_use = now
+        entry.pins += 1
+        return True
+
     def evictable(self) -> list[_Resident]:
         return [e for e in self._resident.values() if e.pins == 0]
 
@@ -224,6 +239,10 @@ class EvictionPolicy(abc.ABC):
     """Chooses which resident tiles to evict to fit a new allocation."""
 
     name = "abstract"
+    #: True when :meth:`victim_order` reads ``_Resident.shared_elsewhere`` —
+    #: the runtime only maintains that hint (a directory walk per write and
+    #: per transfer landing) for policies that declare they consume it.
+    uses_shared_hint = False
 
     @abc.abstractmethod
     def victim_order(self, candidates: list[_Resident]) -> list[_Resident]:
@@ -290,6 +309,7 @@ class Blasx2LevelPolicy(EvictionPolicy):
     """
 
     name = "blasx-2level"
+    uses_shared_hint = True
 
     def victim_order(self, candidates: list[_Resident]) -> list[_Resident]:
         return sorted(

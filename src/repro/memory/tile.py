@@ -18,41 +18,24 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.memory.matrix import Matrix
 
 
-@dataclasses.dataclass(frozen=True, slots=True, eq=False)
-class TileKey:
+class TileKey(typing.NamedTuple):
     """Identity of a tile: owning matrix and block coordinates.
 
-    Equality and hashing are hand-written rather than dataclass-generated:
-    tile keys index every directory, cache and datastore map, so their hash
-    is among the most-called functions of a large run.  The hash is computed
-    once at construction (plain integer arithmetic — deterministic across
-    processes, per lint rule L002) instead of building a ``(matrix_id, i, j)``
-    tuple on every lookup.
+    A :class:`~typing.NamedTuple` rather than a dataclass: tile keys index
+    every directory, cache and datastore map, so they are hashed on each of
+    the ~30 dict probes a task induces.  The tuple form keeps hashing and
+    equality entirely in C — no Python ``__hash__`` frame per probe — and a
+    tuple of ints hashes identically across processes (``PYTHONHASHSEED``
+    salts only str/bytes), which preserves the determinism contract that the
+    previous hand-written arithmetic hash provided (lint rule L002 concerns
+    explicit ``hash()`` calls, not ``__hash__`` implementations).  Note the
+    runtime never *iterates* a set of keys, so the changed hash values cannot
+    reorder anything observable.
     """
 
     matrix_id: int
     i: int
     j: int
-    _hash: int = dataclasses.field(init=False, repr=False)
-
-    def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "_hash", self.matrix_id * 1_000_003 + self.i * 10_007 + self.j
-        )
-
-    def __hash__(self) -> int:
-        return self._hash
-
-    def __eq__(self, other: object) -> bool:
-        if self is other:
-            return True
-        if not isinstance(other, TileKey):
-            return NotImplemented
-        return (
-            self.matrix_id == other.matrix_id
-            and self.i == other.i
-            and self.j == other.j
-        )
 
     def __repr__(self) -> str:
         return f"T({self.matrix_id}:{self.i},{self.j})"

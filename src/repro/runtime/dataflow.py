@@ -93,13 +93,11 @@ class TaskGraph:
         unfinished = 0
 
         history = self._history
-        hists = []
         for access in task.accesses:
             key = access.tile.key
             hist = history.get(key)
             if hist is None:
                 hist = history[key] = _TileHistory()
-            hists.append(hist)
             wuid = hist.last_writer_uid
             if access.writes:
                 if wuid >= 0 and wuid != uid and wuid not in deps:
@@ -116,24 +114,24 @@ class TaskGraph:
                         if reader is not None and reader.state != "done":
                             reader.successors.append(task)
                             unfinished += 1
-            elif wuid >= 0 and wuid != uid and wuid not in deps:
-                deps.add(wuid)
-                edges += 1
-                writer = hist.last_writer
-                if writer is not None and writer.state != "done":
-                    writer.successors.append(task)
-                    unfinished += 1
-        self._edges += edges
-        task.unfinished_predecessors += unfinished
-        # Second pass: update histories (after dependencies are computed so a
-        # task touching one tile twice does not depend on itself).
-        for access, hist in zip(task.accesses, hists):
-            if access.writes:
+                # History updated in the same pass: the uid guards above
+                # already exclude self-dependencies, so a task touching one
+                # tile twice sees its own earlier access filtered out rather
+                # than deferred — same edges, one traversal.
                 hist.last_writer = task
                 hist.last_writer_uid = uid
                 hist.readers_since_write.clear()
             else:
+                if wuid >= 0 and wuid != uid and wuid not in deps:
+                    deps.add(wuid)
+                    edges += 1
+                    writer = hist.last_writer
+                    if writer is not None and writer.state != "done":
+                        writer.successors.append(task)
+                        unfinished += 1
                 hist.readers_since_write[uid] = task
+        self._edges += edges
+        task.unfinished_predecessors += unfinished
         if task.unfinished_predecessors == 0:
             task.state = "ready"
             if self.retain_tasks:

@@ -44,6 +44,38 @@ submission throttling.  Graphs that never reach the window (all golden-sized
 points) keep bit-identical accounting; beyond it, submission instants shift
 to completion-driven ones, which can perturb makespans slightly and is the
 documented price of flat memory (see DESIGN §9).
+
+Fused-event dispatch
+--------------------
+
+With ``fused_events`` on (and no trace recorder attached), submission
+instants run through the *submission pump* (:meth:`Executor._pump`) instead
+of one engine event each.  Every submission still reserves its own engine
+sequence number at intent time (:meth:`Simulator.reserve_seq`), so every
+same-instant tie-break is decided exactly as in the unfused path; but only
+the *first* pending submission owns a heap entry.  When the pump fires it
+processes its submission and then keeps folding consecutive pending
+submissions into the same engine event, for as long as (a) the next pending
+``(time, seq)`` precedes everything on the heap — i.e. the engine would have
+dispatched it next anyway — and (b) it does not pass the engine's
+``inline_horizon`` (a ``run(until=...)`` horizon; ``run(max_events=...)``
+disables fusion so event budgets stay exact).  Otherwise the pump re-arms a
+heap entry carrying the next pending submission's reserved key and yields.
+The observable virtual-time state (makespans, transfer stats, task
+start/end times, scheduler decisions) is bit-identical to the unfused path
+by construction; only :attr:`Simulator.events_fired` drops, which is the
+point — see perfbench's ``events_per_task`` column.
+
+The fused path is disabled whenever the runtime's :class:`TraceRecorder` is
+enabled at construction, so traces (and the race detector built on them)
+observe one engine event per submission exactly as before.  Completions
+already fold their wake-up and successor launches into the completion event
+itself (``_complete_task`` → ``_finish`` → ``_wake_all`` runs inline), in
+both modes — the same-instant coalescing there is achieved by skipping
+provably-no-op work (window-full workers are masked out of the wake scan,
+an empty scheduler returns after the rotation advance) rather than by
+reordering wake calls, which measurably perturbs the recorded schedules
+(the scan-origin rotation is part of them).
 """
 
 from __future__ import annotations
@@ -72,6 +104,12 @@ class _Worker:
     #: (max(2, window // 3), precomputed — consulted on every wake round).
     steal_threshold: int = 2
     inflight: int = 0
+    #: ``streams[0]``, dereferenced once — the wake gate and the load
+    #: queries read the compute stream on every visit.
+    stream0: Stream = dataclasses.field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stream0 = self.streams[0]
 
 
 class Executor:
@@ -92,6 +130,7 @@ class Executor:
         retain_inputs: bool = True,
         retain_tasks: bool = True,
         stream_window: int | None = 8192,
+        fused_events: bool = False,
     ) -> None:
         self.sim = sim
         self.platform = platform
@@ -143,11 +182,59 @@ class Executor:
         #: graphs trade exact submission instants for flat memory.
         self._stream_window = stream_window
         self._stream_paused = False
-        self._submitted: set[int] = set()
         self._completed = 0
         self._flush_tasks: set[int] = set()
+        #: fused-event dispatch (see module docstring): decided once at
+        #: construction — an attached (enabled) trace recorder forces the
+        #: unfused path so traces see one engine event per submission.
+        self._fused = bool(fused_events) and not trace.enabled
+        #: pending fused submissions: ``(time, seq, task, streamed)`` in
+        #: nondecreasing ``(time, seq)`` order.  Only the head owns a heap
+        #: entry; the pump folds the rest inline when the engine would have
+        #: dispatched them next anyway.
+        self._fused_pending: deque = deque()
+        self._pumping = False
+        #: one vectorized kernel-time prefill per pump arming (re-arms within
+        #: a batch skip the rescan — the shapes were already collected).
+        self._pump_prefilled = True
         self._all_workers_mask = (1 << len(self.workers)) - 1
+        #: precomputed visit orders for the wake scan: ``_rot_orders[origin]``
+        #: holds ``(worker, bit)`` pairs in the exact order a wake starting at
+        #: ``origin`` visits them.  Walking one tuple and testing membership
+        #: bits is cheaper than extracting/rotating set bits per visit — the
+        #: wake loop is the hottest code in the runtime and most visits are
+        #: gate rejections that pop nothing.
+        nw = len(self.workers)
+        self._rot_orders = tuple(
+            tuple(
+                (self.workers[(origin + i) % nw], 1 << ((origin + i) % nw))
+                for i in range(nw)
+            )
+            for origin in range(nw)
+        )
+        #: bitmask of workers whose pipeline window is full — maintained by
+        #: launch/completion so a wake scan skips them without a visit.
+        self._full_mask = 0
+        for w in self.workers:
+            if w.inflight >= w.window:  # window == 0 (degenerate config)
+                self._full_mask |= 1 << w.device
         self._loads_buf = [0.0] * len(self.workers)
+        #: virtual time of the last wake that completed with the wake-visible
+        #: state unchanged since (-1.0 = dirty).  See _wake_all for the
+        #: invariant; _enqueue and _complete_task dirty it.
+        self._wake_clean_at = -1.0
+        # Direct aliases into the transfer manager's directory/cache internals
+        # for the launch-time residency fast path (same justification as the
+        # manager's own aliases: bound once, mutated in place, never rebound).
+        # The overwhelmingly common launch outcome is "input already valid on
+        # the launching device, ready now" — one interning probe, one validity
+        # bit test and one resident-entry probe, with zero method dispatch and
+        # none of the slow path's readiness accounting.
+        self._dir_ids = transfer._dir_ids
+        self._dir_valid = transfer._dir_valid
+        self._resident_maps = {
+            dev: cache._resident for dev, cache in transfer.caches.items()
+        }
         #: memoized GpuSpec.kernel_time keyed on its full argument tuple —
         #: tiled graphs repeat a handful of (flops, dim) shapes thousands of
         #: times, and the efficiency-curve arithmetic is pure.
@@ -168,8 +255,21 @@ class Executor:
         self.graph.add(task)
         if is_flush:
             self._flush_tasks.add(task.uid)
-        self._submit_clock = max(self._submit_clock, self.sim.now) + self.task_overhead
-        self.sim.post(self._submit_clock, self._mark_submitted, task)
+        sim = self.sim
+        clock = self._submit_clock
+        now = sim.now
+        if now > clock:
+            clock = now
+        t = self._submit_clock = clock + self.task_overhead
+        if self._fused:
+            seq = sim.reserve_seq()
+            pending = self._fused_pending
+            if not pending and not self._pumping:
+                sim.post_reserved(t, seq, self._pump)
+                self._pump_prefilled = False
+            pending.append((t, seq, task, False))
+        else:
+            sim.post(t, self._mark_submitted, task)
         return task
 
     def submit_stream(self, tasks, is_flush: bool = False) -> None:
@@ -206,16 +306,27 @@ class Executor:
             self.graph.add(task)
             if is_flush:
                 self._flush_tasks.add(task.uid)
-            self._submit_clock = (
-                max(self._submit_clock, self.sim.now) + self.task_overhead
-            )
-            self.sim.post(self._submit_clock, self._mark_submitted_stream, task)
+            sim = self.sim
+            clock = self._submit_clock
+            now = sim.now
+            if now > clock:
+                clock = now
+            t = self._submit_clock = clock + self.task_overhead
+            if self._fused:
+                seq = sim.reserve_seq()
+                pending = self._fused_pending
+                if not pending and not self._pumping:
+                    sim.post_reserved(t, seq, self._pump)
+                    self._pump_prefilled = False
+                pending.append((t, seq, task, True))
+            else:
+                sim.post(t, self._mark_submitted_stream, task)
             return
         self._stream_active = False
 
     def _mark_submitted(self, task: Task) -> None:
         """Submission-instant event: the host thread finished creating the task."""
-        self._submitted.add(task.uid)
+        task.submitted = True
         if task.state == "ready":
             self._enqueue(task)
 
@@ -228,15 +339,98 @@ class Executor:
         events pre-date every launch/completion event.
         """
         self._pull_next()
-        self._submitted.add(task.uid)
+        task.submitted = True
         if task.state == "ready":
             self._enqueue(task)
+
+    def _pump(self) -> None:
+        """Fused submission pump: one engine event, many submission instants.
+
+        Fires as the heap entry of the head of ``_fused_pending``; after
+        processing it, keeps folding the next pending submission into this
+        same engine event exactly when the engine itself would have
+        dispatched it next — its ``(time, seq)`` strictly precedes the heap
+        top (reserved seqs make the comparison exact, including same-instant
+        ties) and does not pass ``inline_horizon``.  Otherwise it re-arms a
+        heap entry under the next submission's reserved key and returns.
+        Streamed entries pull their successor *before* being enqueued, same
+        as :meth:`_mark_submitted_stream`.
+        """
+        sim = self.sim
+        heap = sim._heap  # engine-owned, never rebound; read-only peek here
+        pending = self._fused_pending
+        if not pending:  # pragma: no cover - defensive; invariant: armed ⇒ pending
+            return
+        self._pumping = True
+        try:
+            if not self._pump_prefilled and len(pending) >= 16:
+                self._prefill_kernel_times(pending)
+                self._pump_prefilled = True
+            while True:
+                t, _seq, task, streamed = pending.popleft()
+                sim.now = t
+                if streamed:
+                    self._pull_next()
+                task.submitted = True
+                if task.state == "ready":
+                    self._enqueue(task)
+                if not pending:
+                    return
+                head = pending[0]
+                t2 = head[0]
+                if t2 > sim.inline_horizon:
+                    sim.post_reserved(t2, head[1], self._pump)
+                    return
+                if heap:
+                    top = heap[0]
+                    tt = top[0]
+                    if tt < t2 or (tt == t2 and top[1] < head[1]):
+                        sim.post_reserved(t2, head[1], self._pump)
+                        return
+        finally:
+            self._pumping = False
+
+    def _prefill_kernel_times(self, pending) -> None:
+        """Vectorized kernel-time computation over a fused submission batch.
+
+        One numpy pass per device fills ``_kernel_time_cache`` for every
+        distinct (flops, dim, wordsize, regularity) shape in the batch —
+        tiled graphs repeat a handful of shapes thousands of times, so the
+        whole batch's kernel times are computed in a few array operations
+        instead of per-launch scalar arithmetic.
+        ``GpuSpec.kernel_time_batch`` mirrors the scalar operation order in
+        float64, so cached values are bit-identical to the scalar path.
+        """
+        cache = self._kernel_time_cache
+        shapes: dict[tuple, None] = {}
+        for entry in pending:
+            task = entry[2]
+            shapes[
+                (task.flops, task.dim, task.output_tile.wordsize, task.regularity)
+            ] = None
+        for worker in self.workers:
+            dev = worker.device
+            missing = [s for s in shapes if (dev, *s) not in cache]
+            if not missing:
+                continue
+            gpu = self.platform.gpus[dev]
+            times = gpu.kernel_time_batch(
+                [s[0] for s in missing],
+                [s[1] for s in missing],
+                [s[2] for s in missing],
+                [s[3] for s in missing],
+            )
+            # .tolist() yields Python floats (exact value-preserving), so the
+            # cache never leaks numpy scalars into virtual-time arithmetic.
+            for s, duration in zip(missing, times.tolist()):
+                cache[(dev, *s)] = duration
 
     def _enqueue(self, task: Task) -> None:
         """Task is schedulable: hand to the scheduler (or run a host flush)."""
         if task.uid in self._flush_tasks:
             self._run_flush(task)
             return
+        self._wake_clean_at = -1.0  # new work: the next wake must scan
         self.scheduler.push(task, self.ctx)
         self._wake_all()
 
@@ -277,48 +471,68 @@ class Executor:
         # the next launch can change its answer: nothing is pushed during a
         # wake, pops only remove tasks, device loads only grow when their own
         # deque drains, and idleness only decays as windows fill.
-        workers = self.workers
-        n = len(workers)
-        self._wake_origin = (self._wake_origin + 1) % n
-        origin = self._wake_origin
-        scheduler = self.scheduler
-        ctx = self.ctx
+        self._wake_origin = origin = (self._wake_origin + 1) % len(self.workers)
         now = self.sim.now  # frozen for the whole wake
+        if self._wake_clean_at == now:
+            # A wake already ran at this instant and nothing it reads has
+            # changed since: a wake only terminates when a full round makes no
+            # progress (every live worker's pop returned None, or every
+            # candidate is window-full / gate-rejected), so re-scanning the
+            # same state must launch nothing.  Wake outcomes read only
+            # scheduler queues (invalidated on push), worker windows and
+            # stream backlogs (mutated only by launches, i.e. inside wakes,
+            # and by completions, which invalidate), and the clock (compared
+            # here) — transfer/directory state is never consulted by a pop or
+            # gate, and on_complete only adjusts push-side estimates.  The
+            # rotation advance above is the wake's only observable remnant
+            # and is preserved.
+            return
+        scheduler = self.scheduler
+        if scheduler.empty():
+            # Nothing queued anywhere: every pop below would return None and
+            # mutate nothing, so only the rotation advance (already done — the
+            # origin sequence is part of the recorded schedules) is observable.
+            # An empty scheduler stays empty until a push, so this outcome is
+            # as stable as a full no-progress scan.
+            self._wake_clean_at = now
+            return
+        ctx = self.ctx
         ready_mask = scheduler.ready_device_mask
         stealable = scheduler.has_stealable_work
         pop = scheduler.pop
-        dead = 0
+        # Window-full workers are pre-retired via the maintained mask: visiting
+        # one only ever set its dead-bit (windows only fill during a wake), so
+        # skipping the visit is unobservable.
+        dead = self._full_mask
+        # Pre-resolved visit order for this origin: one membership test per
+        # worker per round replaces the bit-extraction arithmetic the scan
+        # used to pay per visit (most visits are gate rejections).
+        order = self._rot_orders[origin]
+        all_mask = self._all_workers_mask
         progress = True
         while progress:
             progress = False
             owned = ready_mask(ctx)
+            # Re-read the maintained full mask each round instead of checking
+            # inflight-vs-window per visit: a worker's window state at its
+            # visit was last changed by its *own* launch in a previous round
+            # (each worker launches at most once per round and _launch keeps
+            # the mask exact), so the round-start mask gives the same answer.
+            dead |= self._full_mask
             if stealable(ctx):
-                avail = self._all_workers_mask & ~dead
+                avail = all_mask & ~dead
             else:
                 avail = owned & ~dead
             if not avail:
                 break
-            # Rotated-bitmask scan: visit exactly the set bits of ``avail``,
-            # starting at ``origin`` and wrapping — the same visit order as an
-            # index loop over all n workers, but skipping the unavailable ones
-            # costs nothing instead of a mask test each.
-            rot = ((avail >> origin) | (avail << (n - origin))) & self._all_workers_mask
-            while rot:
-                low = rot & -rot
-                rot ^= low
-                idx = low.bit_length() - 1 + origin
-                if idx >= n:
-                    idx -= n
-                worker = workers[idx]
-                bit = 1 << worker.device
-                if worker.inflight >= worker.window:
-                    dead |= bit  # windows only fill during a wake
+            for worker, bit in order:
+                if not avail & bit:
                     continue
                 if owned & bit:
                     task = pop(worker.device, ctx)
                 elif (
                     worker.inflight < worker.steal_threshold
-                    or worker.streams[0].busy_until <= now
+                    or worker.stream0.busy_until <= now
                 ):  # _device_idle, inlined on the hottest loop of the runtime
                     task = pop(worker.device, ctx, idle=True)
                 else:
@@ -329,10 +543,14 @@ class Executor:
                     continue
                 self._launch(task, worker)
                 progress = True
+        # The scan only falls out once no further launch is possible; record
+        # that so back-to-back wakes at one instant (the tail of every
+        # completion cascade) skip the rescan.
+        self._wake_clean_at = now
 
     def _device_load(self, dev: int) -> float:
         """Compute backlog (seconds of queued kernels) of device ``dev``."""
-        load = self.workers[dev].streams[0].busy_until - self.sim.now
+        load = self.workers[dev].stream0.busy_until - self.sim.now
         return load if load > 0.0 else 0.0
 
     def _device_loads(self) -> list[float]:
@@ -344,7 +562,7 @@ class Executor:
         now = self.sim.now
         buf = self._loads_buf
         for i, worker in enumerate(self.workers):
-            load = worker.streams[0].busy_until - now
+            load = worker.stream0.busy_until - now
             buf[i] = load if load > 0.0 else 0.0
         return buf
 
@@ -359,7 +577,7 @@ class Executor:
         worker = self.workers[dev]
         return (
             worker.inflight < worker.steal_threshold
-            or worker.streams[0].busy_until <= self.sim.now
+            or worker.stream0.busy_until <= self.sim.now
         )
 
     def _launch(self, task: Task, worker: _Worker) -> None:
@@ -367,24 +585,51 @@ class Executor:
         task.device = dev
         task.state = "running"
         worker.inflight += 1
+        if worker.inflight >= worker.window:
+            self._full_mask |= 1 << dev
         protect = task.access_keys
         now = self.sim.now
         transfer = self.transfer
-        cache = transfer.caches[dev]
         inputs_ready = now + self.pop_overhead
         transfer_cost = 0.0
         pinned = []
+        # ensure_resident_pin's fast path, inlined: when the input is already
+        # valid on the launching device it is ready *now*, which can neither
+        # contribute transfer cost nor move inputs_ready (pop_overhead > 0) —
+        # so the whole readiness accounting collapses to the hit/pin
+        # bookkeeping below.  Misses and in-flight replicas take the full
+        # manager path.
+        dir_ids_get = self._dir_ids.get
+        dir_valid = self._dir_valid
+        dstbit = 1 << (dev + 1)
+        resident_get = self._resident_maps[dev].get
+        cache = transfer.caches[dev]
         for access in task.accesses:
             if access.reads:
-                ready = transfer.ensure_resident(
-                    access.tile, dev, earliest=now, protect=protect
+                tile = access.tile
+                key = tile.key
+                tid = dir_ids_get(key)
+                if tid is not None and dir_valid[tid] & dstbit:
+                    entry = resident_get(key)
+                    if entry is None:
+                        # Valid in the directory but not byte-accounted:
+                        # mirrors ensure_resident's defensive miss.
+                        cache.misses += 1
+                    else:
+                        cache.hits += 1
+                        if now > entry.last_use:
+                            entry.last_use = now
+                        entry.pins += 1
+                        pinned.append(key)
+                    continue
+                ready, was_pinned = transfer.ensure_resident_pin(
+                    tile, dev, earliest=now, protect=protect
                 )
                 if ready > now:
                     transfer_cost += ready - now
                 if ready > inputs_ready:
                     inputs_ready = ready
-                key = access.tile.key
-                if cache.pin_if_resident(key):
+                if was_pinned:
                     pinned.append(key)
             else:  # WRITE-only output
                 ready = transfer.allocate_output(access.tile, dev, now)
@@ -401,7 +646,7 @@ class Executor:
             )
         streams = worker.streams
         stream = (
-            streams[0]
+            worker.stream0
             if len(streams) == 1
             else min(streams, key=lambda s: s.busy_until)
         )
@@ -414,11 +659,13 @@ class Executor:
             start = end - duration
         task.start_time = start
         task.end_time = end
-        self.trace.record(TraceCategory.KERNEL, dev, start, end, task.name)
+        if self.trace.enabled:
+            self.trace.record(TraceCategory.KERNEL, dev, start, end, task.name)
         self.sim.post(end, self._complete_task, task, worker, pinned)
 
     def _complete_task(self, task: Task, worker: _Worker, pinned: list) -> None:
         """Kernel-completion event: writes registered, pins dropped, wake-up."""
+        self._wake_clean_at = -1.0  # the window drains: wakes must rescan
         self._execute_numeric(task)
         for access in task.accesses:
             if access.writes:
@@ -429,6 +676,8 @@ class Executor:
         if self.transfer.sanitizer is not None:
             for access in task.accesses:
                 self.transfer.sanitize(access.tile.key)
+        if worker.inflight >= worker.window:
+            self._full_mask &= ~(1 << worker.device)
         worker.inflight -= 1
         self._finish(task)
 
@@ -471,8 +720,9 @@ class Executor:
         if not self.graph.retain_tasks:
             # Reclaiming mode: the graph just retired the task; drop the
             # executor's own bookkeeping so the uid sets stay bounded by the
-            # in-flight window instead of growing with the whole run.
-            self._submitted.discard(task.uid)
+            # in-flight window instead of growing with the whole run.  (The
+            # submitted flag lives on the task itself and is reclaimed with
+            # it — only the flush set needs trimming.)
             self._flush_tasks.discard(task.uid)
         if self._stream_paused:
             window = self._stream_window
@@ -483,7 +733,7 @@ class Executor:
                 self._stream_paused = False
                 self._pull_next()
         for succ in newly_ready:
-            if succ.uid in self._submitted:
+            if succ.submitted:
                 self._enqueue(succ)
         self.scheduler.on_complete(task, self.ctx)
         self._wake_all()

@@ -16,6 +16,8 @@ Maps the :class:`~repro.topology.platform.Platform` description onto
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import TopologyError
 from repro.sim.channel import Channel
 from repro.sim.engine import Simulator
@@ -86,6 +88,44 @@ class Fabric:
             dev: Channel(sim, self.NVLINK_AGGREGATE_BW, 0.0, name=f"nvl-in-{dev}")
             for dev in range(n)
         }
+        # Effective (latency, bandwidth) of every directed route, flattened to
+        # ``(src + 1) * (n + 1) + (dst + 1)`` (HOST = -1 maps to slot 0).  The
+        # topology is immutable, so :meth:`estimate`'s *duration* term — which
+        # mirrors ``Channel.transfer_time`` — is a pure function of (route,
+        # nbytes); :meth:`_durations` turns these arrays into a per-size table
+        # for every route at once in one numpy pass.  Unused slots (host-host,
+        # local) get bandwidth 1.0 so the vector division stays clean; nothing
+        # reads them.
+        stride = n + 1
+        lat = np.zeros(stride * stride, dtype=np.float64)
+        bw = np.ones(stride * stride, dtype=np.float64)
+        for dst in range(n):
+            h2d = self._h2d[dst]
+            lat[dst + 1] = h2d.latency
+            bw[dst + 1] = h2d.bandwidth
+        for src in range(n):
+            d2h = self._d2h[src]
+            lat[(src + 1) * stride] = d2h.latency
+            bw[(src + 1) * stride] = d2h.bandwidth
+            for dst in range(n):
+                if src == dst:
+                    continue
+                direct = self._p2p.get((src, dst))
+                idx = (src + 1) * stride + dst + 1
+                if direct is not None:
+                    lat[idx] = direct.latency
+                    bw[idx] = direct.bandwidth
+                else:
+                    link = platform.link(src, dst)
+                    lat[idx] = link.latency
+                    bw[idx] = link.bandwidth
+        self._route_latency = lat
+        self._route_bandwidth = bw
+        self._route_stride = stride
+        #: nbytes -> flat per-route duration table (Python floats — `.tolist()`
+        #: is value-preserving, so entries are bit-identical to the scalar
+        #: ``latency + nbytes / bandwidth`` the channels would compute).
+        self._duration_tables: dict[int, list[float]] = {}
 
     # ------------------------------------------------------------- reserving
 
@@ -146,20 +186,43 @@ class Fabric:
 
     # ------------------------------------------------------------ estimating
 
+    def _durations(self, nbytes: int) -> list[float]:
+        """Per-route transfer durations for ``nbytes``, built vectorized.
+
+        One numpy pass computes ``latency + nbytes / bandwidth`` for *every*
+        directed route at once (the ``Channel.transfer_time`` formula over the
+        tables precomputed in ``__init__``); tiled runs move a handful of
+        distinct sizes, so after the first transfer of each size every
+        estimate is a list index instead of scalar arithmetic.
+        """
+        table = self._duration_tables.get(nbytes)
+        if table is None:
+            table = (
+                self._route_latency + nbytes / self._route_bandwidth
+            ).tolist()
+            self._duration_tables[nbytes] = table
+        return table
+
     def estimate(self, src: int, dst: int, nbytes: int, earliest: float) -> float:
         """Estimated completion time of a transfer, without reserving.
 
         Accounts for the current FIFO backlog of the channels involved; used
-        by source-selection policies to compare candidate routes.
+        by source-selection policies to compare candidate routes.  The
+        duration term comes from the vectorized per-size route table
+        (:meth:`_durations`), bit-identical to the channels' scalar
+        ``transfer_time``.
         """
+        duration = self._durations(nbytes)[
+            (src + 1) * self._route_stride + dst + 1
+        ]
         if src == HOST:
             chan = self._h2d[dst]
             start = max(earliest, self.sim.now, chan.busy_until)
-            return start + chan.transfer_time(nbytes)
+            return start + duration
         if dst == HOST:
             chan = self._d2h[src]
             start = max(earliest, self.sim.now, chan.busy_until)
-            return start + chan.transfer_time(nbytes)
+            return start + duration
         direct = self._p2p.get((src, dst))
         if direct is not None:
             start = max(
@@ -169,15 +232,14 @@ class Fabric:
                 self._nvlink_egress[src].busy_until,
                 self._nvlink_ingress[dst].busy_until,
             )
-            return start + direct.transfer_time(nbytes)
-        link = self.platform.link(src, dst)
+            return start + duration
         start = max(
             earliest,
             self.sim.now,
             self._d2h[src].busy_until,
             self._h2d[dst].busy_until,
         )
-        return start + link.latency + nbytes / link.bandwidth
+        return start + duration
 
     # ------------------------------------------------------------ inspection
 

@@ -77,6 +77,10 @@ class Task:
     )
     unfinished_predecessors: int = 0
     successors: list["Task"] = dataclasses.field(default_factory=list)
+    #: set by the executor once the task's submission instant has passed —
+    #: a flag on the task (not a uid set) so the check per successor edge is
+    #: one attribute load and reclaiming graphs carry no growing set.
+    submitted: bool = False
     device: int | None = None  # assigned at execution
     start_time: float = float("nan")
     end_time: float = float("nan")

@@ -82,6 +82,11 @@ class TransferManager:
         self.datastore = datastore
         self.caches = caches
         self.eviction_policy = eviction_policy
+        #: the shared-elsewhere hint feeds only policies that declare they
+        #: read it (BLASX two-level); for the others the directory walk after
+        #: every write and transfer landing is maintenance of a bit nobody
+        #: consults, so it is skipped wholesale.
+        self._track_shared = eviction_policy.uses_shared_hint
         self.trace = trace
         self.policy = policy
         #: host page-locking model (None = ignored, the paper's methodology).
@@ -93,6 +98,12 @@ class TransferManager:
         # key behind Platform.peers_by_rank is precomputed once per (dst, src)
         # pair: source selection then reduces to a min() over a dict lookup
         # instead of re-sorting the candidate list on every transfer.
+        # Direct references into the directory's interning dict and validity
+        # array for the residency fast path below.  Both are bound once in
+        # CoherenceDirectory.__init__ and only ever mutated in place
+        # (append/assign), never rebound, so the aliases stay live.
+        self._dir_ids = directory._ids
+        self._dir_valid = directory._valid
         devices = list(platform.device_ids())
         self._rank_key: dict[int, dict[int, tuple[int, int]]] = {
             dst: {
@@ -136,8 +147,14 @@ class TransferManager:
         cache = self.caches[dst]
         directory = self.directory
 
-        tid = directory.lookup(key)
-        if directory.is_valid_id(tid, dst):
+        # Inlined directory.lookup + is_valid_id: this is the hottest call of
+        # the whole runtime (every read access of every launch lands here) and
+        # the overwhelmingly common outcome is "already valid on dst" — one
+        # dict probe plus one bit test, no method dispatch.
+        tid = self._dir_ids.get(key)
+        if tid is None:
+            tid = directory.lookup(key)
+        if self._dir_valid[tid] & (1 << (dst + 1)):
             # A replica valid on a device was transferred or seeded there, so
             # the tile is already registered — the fast paths skip that call.
             cache.access_hit(key, now)
@@ -181,6 +198,30 @@ class TransferManager:
         self.sim.post(end, self._complete_d2d, tile, tid, source, dst, src_pinned)
         self.sanitize(key)
         return end
+
+    def ensure_resident_pin(
+        self,
+        tile: Tile,
+        dst: int,
+        earliest: float | None = None,
+        protect: tuple[TileKey, ...] = (),
+    ) -> tuple[float, bool]:
+        """:meth:`ensure_resident` plus the launch pin in one replica walk.
+
+        The executor pins every input that is resident right after ensuring
+        residency; fusing the two into ``(ready, pinned)`` lets the common
+        already-valid outcome resolve with a single cache probe
+        (:meth:`DeviceCache.access_hit_pin`) instead of two.
+        """
+        now = self.sim.now
+        if earliest is not None and earliest > now:
+            now = earliest
+        key = tile.key
+        tid = self._dir_ids.get(key)
+        if tid is not None and self._dir_valid[tid] & (1 << (dst + 1)):
+            return now, self.caches[dst].access_hit_pin(key, now)
+        ready = self.ensure_resident(tile, dst, earliest=earliest, protect=protect)
+        return ready, self.caches[dst].pin_if_resident(key)
 
     def _complete_d2d(
         self, tile: Tile, tid: int, source: int, dst: int, src_pinned: bool
@@ -475,6 +516,8 @@ class TransferManager:
 
     def _refresh_shared_flags(self, key: TileKey, tid: int | None = None) -> None:
         """Maintain the BLASX-policy hint: is the tile replicated elsewhere?"""
+        if not self._track_shared:
+            return
         if tid is None:
             tid = self.directory.lookup(key)
         m = self.directory.device_valid_mask(tid)
@@ -485,9 +528,12 @@ class TransferManager:
             m ^= low
             cache = caches.get(low.bit_length() - 1)
             if cache is not None:
-                # mark_shared_elsewhere is a no-op for non-resident keys, so
-                # no separate membership probe.
-                cache.mark_shared_elsewhere(key, multi)
+                # mark_shared_elsewhere, inlined (one resident probe, no
+                # method dispatch — this runs after every write and transfer
+                # landing); a no-op for non-resident keys.
+                entry = cache._resident.get(key)
+                if entry is not None:
+                    entry.shared_elsewhere = multi
 
     def stats(self) -> dict[str, int]:
         return {

@@ -71,9 +71,18 @@ class Channel:
         immediately — callers then schedule their completion callback at
         ``end``.
         """
-        now = self.sim.now if earliest is None else max(self.sim.now, earliest)
-        start = max(now, self.busy_until)
-        end = start + self.transfer_time(nbytes)
+        if nbytes < 0:
+            raise SimulationError(f"channel {self.name!r}: negative size {nbytes}")
+        # transfer_time and the two max() calls, inlined: reservations happen
+        # per simulated DMA and the call overhead was visible in large runs.
+        now = self.sim.now
+        if earliest is not None and earliest > now:
+            now = earliest
+        busy = self.busy_until
+        start = busy if busy > now else now
+        # Parenthesized like transfer_time() so the rounding (and thus every
+        # recorded makespan bit) is unchanged: start + (latency + size/bw).
+        end = start + (self.latency + nbytes / self.bandwidth)
         self.busy_until = end
         self.bytes_moved += nbytes
         self.transfer_count += 1

@@ -1,9 +1,9 @@
 """The discrete-event simulator.
 
-A minimal, deterministic event engine: a binary heap of ``(time, seq, Event)``
-entries and a virtual clock.  Every hardware model in :mod:`repro` (links,
-streams, device workers) schedules callbacks here; running the heap to
-exhaustion executes one full BLAS invocation on the simulated platform.
+A minimal, deterministic event engine: a binary heap of timestamped entries
+and a virtual clock.  Every hardware model in :mod:`repro` (links, streams,
+device workers) schedules callbacks here; running the heap to exhaustion
+executes one full BLAS invocation on the simulated platform.
 
 The engine is deliberately single-threaded.  Parallelism of the modelled
 machine lives entirely in virtual time: two kernels on different simulated
@@ -17,8 +17,11 @@ themselves: ``heapq`` then compares native floats and ints (the tie-breaking
 measurably faster than dispatching dataclass ``__lt__`` per sift step on
 paper-scale runs.  Two entry shapes coexist on the heap:
 
-* ``(time, seq, event)`` — from :meth:`Simulator.schedule`, which returns a
-  cancellable :class:`Event` handle;
+* ``(time, seq, callback, args, event)`` — from :meth:`Simulator.schedule`,
+  which returns a cancellable :class:`Event` handle.  The callback and args
+  are duplicated into the entry so the dispatch loop never dereferences the
+  handle on the hot path; the trailing handle is consulted only for its
+  ``cancelled`` flag;
 * ``(time, seq, callback, args)`` — from :meth:`Simulator.post`, the
   fire-and-forget form used by the runtime's hot paths (kernel and transfer
   completions are never cancelled, so allocating a handle per event was pure
@@ -26,6 +29,29 @@ paper-scale runs.  Two entry shapes coexist on the heap:
 
 Mixed shapes compare fine: ``seq`` is unique, so ordering is decided before
 tuple comparison ever reaches the third element.
+
+Inline event fusion
+-------------------
+
+External components may *fuse* events: process a chain of consecutive
+pending actions inside one engine event instead of round-tripping each
+through the heap (the runtime's submission pump does this — see
+``runtime/executor.py``).  Two engine-side contracts make that safe:
+
+* :meth:`reserve_seq` / :meth:`post_reserved` let a component draw sequence
+  numbers at *intent* time and post the heap entry later, so the engine's
+  ``seq`` stream — and therefore every tie-break — evolves exactly as if one
+  event had been posted per action;
+* :attr:`inline_horizon` bounds how far a fused chain may advance the clock
+  without consulting the heap.  It is ``+inf`` during a plain
+  run-to-exhaustion, ``until`` during :meth:`run` with a horizon, and
+  ``-inf`` when ``max_events`` is set — the latter disables fusion entirely
+  so the event budget counts every action, keeping the livelock valve exact.
+
+Fused actions do not increment :attr:`events_fired`: the counter reports
+engine dispatches, and collapsing bookkeeping chains into fewer dispatches
+is precisely the optimization being measured (perfbench's
+``events_per_task`` column tracks it across recordings).
 """
 
 from __future__ import annotations
@@ -36,9 +62,11 @@ from typing import Any, Callable
 from repro.errors import SimulationError
 from repro.sim.event import Event
 
-#: cancellable heap entry: (time, seq, event); posted entries are
-#: (time, seq, callback, args).
-_HeapEntry = tuple[float, int, Event]
+#: cancellable heap entry: (time, seq, callback, args, event); posted entries
+#: are (time, seq, callback, args).
+_HeapEntry = tuple[float, int, Callable[..., Any], tuple, Event]
+
+_INF = float("inf")
 
 
 class Simulator:
@@ -60,9 +88,14 @@ class Simulator:
     def __init__(self) -> None:
         self._heap: list = []
         #: current virtual time in seconds.  A plain attribute, written only
-        #: by the engine itself: the runtime reads the clock on every
-        #: scheduling decision, where a property dispatch is measurable.
+        #: by the engine itself and by fused dispatch loops (see module
+        #: docstring): the runtime reads the clock on every scheduling
+        #: decision, where a property dispatch is measurable.
         self.now: float = 0.0
+        #: latest virtual time up to which external components may process
+        #: fused actions inline without going through the heap.  See module
+        #: docstring ("Inline event fusion").
+        self.inline_horizon: float = _INF
         self._seq: int = 0
         self._running = False
         self._events_fired = 0
@@ -71,7 +104,11 @@ class Simulator:
 
     @property
     def events_fired(self) -> int:
-        """Number of events executed so far (diagnostic)."""
+        """Number of events executed so far (diagnostic).
+
+        Counts engine dispatches: actions fused inline into one dispatch by
+        the runtime (see module docstring) count once, not per action.
+        """
         return self._events_fired
 
     # --------------------------------------------------------------- schedule
@@ -93,8 +130,8 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time=time, seq=seq, callback=callback, args=args)
-        heapq.heappush(self._heap, (time, seq, event))
+        event = Event(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, callback, args, event))
         return event
 
     def post(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
@@ -113,6 +150,39 @@ class Simulator:
         self._seq = seq + 1
         heapq.heappush(self._heap, (time, seq, callback, args))
 
+    def reserve_seq(self) -> int:
+        """Draw the next sequence number without posting an event.
+
+        Building block of inline fusion: a component that *intends* to act at
+        a future instant reserves its tie-break position now and either posts
+        the entry later with :meth:`post_reserved` or processes the action
+        inline.  Either way the ``seq`` stream — and with it every
+        deterministic same-instant ordering — is identical to posting one
+        event per action.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def post_reserved(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+    ) -> None:
+        """Post an entry carrying a :meth:`reserve_seq`-drawn sequence number.
+
+        The caller owns the ordering contract: ``seq`` must have been reserved
+        after every already-posted entry the action must follow (reserving at
+        intent time guarantees this).
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self.now}"
+            )
+        heapq.heappush(self._heap, (time, seq, callback, args))
+
     def schedule_after(
         self, delay: float, callback: Callable[..., Any], *args: Any
     ) -> Event:
@@ -128,17 +198,11 @@ class Simulator:
         heap = self._heap
         while heap:
             entry = heapq.heappop(heap)
-            if len(entry) == 4:  # posted: (time, seq, callback, args)
-                self.now = entry[0]
-                self._events_fired += 1
-                entry[2](*entry[3])
-                return True
-            time, _seq, event = entry
-            if event.cancelled:
+            if len(entry) == 5 and entry[4].cancelled:
                 continue
-            self.now = time
+            self.now = entry[0]
             self._events_fired += 1
-            event.callback(*event.args)
+            entry[2](*entry[3])
             return True
         return False
 
@@ -151,12 +215,16 @@ class Simulator:
             Optional virtual-time horizon; events strictly after it stay
             queued and the clock is advanced to ``until`` — also when the heap
             drains before the horizon is reached, so ``now == until`` holds on
-            return regardless of how much work was actually queued.
+            return regardless of how much work was actually queued.  Fused
+            dispatch loops honour the same horizon via
+            :attr:`inline_horizon`.
         max_events:
             Optional safety valve for tests; raises :class:`SimulationError`
             *before* firing the ``max_events + 1``-th event (a symptom of a
             livelocked model), so a runaway model cannot mutate state past
-            the limit.
+            the limit.  Setting it disables inline fusion for the duration of
+            the run (``inline_horizon = -inf``) so the budget counts every
+            action exactly.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
@@ -170,20 +238,15 @@ class Simulator:
             try:
                 while heap:
                     entry = pop(heap)
-                    if len(entry) == 4:  # posted: (time, seq, callback, args)
-                        self.now = entry[0]
-                        self._events_fired += 1
-                        entry[2](*entry[3])
-                        continue
-                    event = entry[2]
-                    if event.cancelled:
+                    if len(entry) == 5 and entry[4].cancelled:
                         continue
                     self.now = entry[0]
                     self._events_fired += 1
-                    event.callback(*event.args)
+                    entry[2](*entry[3])
             finally:
                 self._running = False
             return
+        self.inline_horizon = -_INF if max_events is not None else until
         fired = 0
         try:
             while self._heap:
@@ -200,25 +263,32 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+            self.inline_horizon = _INF
 
     def _peek_time(self) -> float:
         heap = self._heap
-        while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
+        while heap and len(heap[0]) == 5 and heap[0][4].cancelled:
             heapq.heappop(heap)
         if not heap:
-            return float("inf")
+            return _INF
         return heap[0][0]
 
     @property
     def pending(self) -> int:
-        """Number of queued (non-cancelled) events."""
+        """Number of queued (non-cancelled) heap entries.
+
+        A fused dispatch loop's single queued entry may stand for a whole
+        batch of pending actions (the runtime's submission pump), so this is
+        a lower bound on outstanding work in fused mode — exact otherwise.
+        """
         return sum(
-            1 for e in self._heap if len(e) == 4 or not e[2].cancelled
+            1 for e in self._heap if len(e) == 4 or not e[4].cancelled
         )
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
         self._heap.clear()
         self.now = 0.0
+        self.inline_horizon = _INF
         self._seq = 0
         self._events_fired = 0

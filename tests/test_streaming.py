@@ -140,9 +140,11 @@ def test_reclamation_drops_task_references():
         graph.tasks
     with pytest.raises(TaskGraphError):
         graph.ready_tasks()
-    # The executor's uid bookkeeping drained along with the graph.
-    assert rt.executor._submitted == set()
+    # The executor's uid bookkeeping drained along with the graph (the
+    # submitted flag lives on the tasks themselves and is reclaimed with
+    # them; only the flush set is executor-side state).
     assert rt.executor._flush_tasks == set()
+    assert not rt.executor._fused_pending
 
 
 def test_reclaimed_task_is_garbage_collected():
