@@ -116,6 +116,13 @@ class BenchResult:
     #: (tracing would skew the wall-time measurement, so it never shares a
     #: run with it).  Python-allocation bytes, not RSS.
     peak_mem_bytes: int | None = None
+    #: per-phase wall breakdown from a separate, untimed replay with
+    #: :class:`repro.bench.phases.PhaseCounters` installed (macro rows
+    #: only).  Counters are inclusive: engine ⊇ dispatch ⊇ transfer-path —
+    #: see the phases module for the exact grouping.
+    engine_s: float | None = None
+    dispatch_s: float | None = None
+    transfer_path_s: float | None = None
 
     def to_json(self) -> dict:
         return {k: v for k, v in dataclasses.asdict(self).items() if v is not None}
@@ -182,7 +189,8 @@ def _traced_peak(thunk) -> int:
 
 
 def bench_macro(name: str, routine: str, n: int, nb: int,
-                measure_peak: bool = True) -> BenchResult:
+                measure_peak: bool = True,
+                phase_breakdown: bool = False) -> BenchResult:
     """One perf-mode routine invocation on the simulated 8-GPU DGX-1.
 
     The timed run uses the production configuration: event tracing OFF (a
@@ -192,7 +200,10 @@ def bench_macro(name: str, routine: str, n: int, nb: int,
     pauses.  Virtual-time fields are bit-identical in either configuration.
     When ``measure_peak`` is set the point is replayed under tracemalloc for
     the memory column (simulated behaviour is deterministic, so the replay is
-    the same run).
+    the same run).  ``phase_breakdown`` adds another untimed replay with
+    :class:`~repro.bench.phases.PhaseCounters` installed, filling the
+    ``engine_s`` / ``dispatch_s`` / ``transfer_path_s`` columns — separate
+    runs, so the timed headline never pays for either instrumentation.
     """
     plat = make_dgx1(8)
     # The previous point's task graph is one big cycle web (Task.successors);
@@ -222,6 +233,24 @@ def bench_macro(name: str, routine: str, n: int, nb: int,
             lambda: run_point(routine=routine, library="xkblas", n=n, nb=nb,
                               platform=make_dgx1(8))
         )
+    phases = None
+    if phase_breakdown:
+        res = rt = None  # the replay should not race the kept graph's GC
+        gc.collect()
+        prev_trace2 = config.TRACE_EVENTS
+        prev_phases = config.PHASE_COUNTERS
+        config.TRACE_EVENTS = False
+        config.PHASE_COUNTERS = True
+        gc.disable()
+        try:
+            replay = run_point(routine=routine, library="xkblas", n=n, nb=nb,
+                               platform=make_dgx1(8), keep_runtime=True)
+            assert replay.runtime is not None
+            phases = replay.runtime.phases
+        finally:
+            gc.enable()
+            config.PHASE_COUNTERS = prev_phases
+            config.TRACE_EVENTS = prev_trace2
     return BenchResult(
         name=name,
         kind="macro",
@@ -236,6 +265,9 @@ def bench_macro(name: str, routine: str, n: int, nb: int,
         events_per_task=events / tasks if tasks else None,
         transfers=transfers,
         peak_mem_bytes=peak,
+        engine_s=phases.engine_s if phases is not None else None,
+        dispatch_s=phases.dispatch_s if phases is not None else None,
+        transfer_path_s=phases.transfer_path_s if phases is not None else None,
     )
 
 
@@ -459,7 +491,7 @@ def run_suite(fast: bool = False, repeat: int = 1,
     micros = [lambda n=n: bench_engine_events(n) for n in micro_sizes]
     macros = [
         (lambda name=name, routine=routine, n=n, nb=nb:
-         bench_macro(name, routine, n, nb))
+         bench_macro(name, routine, n, nb, phase_breakdown=True))
         for name, routine, n, nb in points
     ]
     for thunk in micros + macros:

@@ -1,0 +1,126 @@
+"""Per-phase wall-time breakdown of a simulated run.
+
+Perf PRs need to know *where host time goes* — event engine, scheduler
+dispatch, or the transfer path — without eyeballing profiler dumps.
+:class:`PhaseCounters` instruments one :class:`~repro.runtime.api.Runtime`
+instance with cheap wall-clock accumulators over the entry points of those
+three layers:
+
+* ``engine_s`` — the full event drain (:meth:`Simulator.run`);
+* ``dispatch_s`` — scheduler dispatch: wake scans, launches, completion
+  events and the fused submission pump;
+* ``transfer_path_s`` — the transfer path proper: batched residency, single
+  residency calls, host write-backs, write registration and transfer
+  completion events.
+
+Counters are *inclusive* along the call chain: a launch inside a wake bills
+its residency work to both ``dispatch_s`` and ``transfer_path_s``, and
+everything runs inside ``engine_s`` — so ``engine_s - dispatch_s`` reads as
+"event loop + submission bookkeeping" and ``dispatch_s - transfer_path_s``
+as "scheduling proper".  Reentrancy *within* one group is depth-guarded so a
+nested call (e.g. a host-validity restore issued from source selection, or a
+wake inside a completion) is never double-billed to its own group.
+
+The production hot path carries **zero** timing code: installation rebinds
+instance attributes with timing closures, so a runtime without counters is
+byte-for-byte the uninstrumented object graph.  Enable per run with
+``RuntimeOptions(phase_counters=True)`` (or the ``config.PHASE_COUNTERS``
+module flag); perfbench uses a separate untimed replay for the breakdown so
+the timed headline never pays for it.  Virtual-time output is unaffected
+either way — the wrappers only measure host time around unchanged calls.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class _Group:
+    """One inclusive wall-time accumulator with a reentrancy guard."""
+
+    __slots__ = ("total", "_depth")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self._depth = 0
+
+    def wrap(self, fn):
+        """Return ``fn`` wrapped to bill its outermost invocations here."""
+
+        def timed(*args, **kwargs):
+            if self._depth:
+                return fn(*args, **kwargs)
+            self._depth = 1
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self.total += time.perf_counter() - t0
+                self._depth = 0
+
+        return timed
+
+
+class PhaseCounters:
+    """Wall-time counters over one runtime's engine/dispatch/transfer layers."""
+
+    def __init__(self) -> None:
+        self._engine = _Group()
+        self._dispatch = _Group()
+        self._transfer = _Group()
+
+    # ------------------------------------------------------------ installing
+
+    def install(self, runtime) -> "PhaseCounters":
+        """Instrument ``runtime`` in place; returns ``self``.
+
+        Must run before the simulation starts: events capture bound methods
+        at post time, so wrappers installed mid-run would miss everything
+        already queued.
+        """
+        sim = runtime.sim
+        sim.run = self._engine.wrap(sim.run)
+
+        executor = runtime.executor
+        executor._wake_all = self._dispatch.wrap(executor._wake_all)
+        executor._complete_task = self._dispatch.wrap(executor._complete_task)
+        executor._pump = self._dispatch.wrap(executor._pump)
+
+        transfer = runtime.transfer
+        transfer.ensure_resident_batch = self._transfer.wrap(
+            transfer.ensure_resident_batch
+        )
+        transfer.ensure_resident = self._transfer.wrap(transfer.ensure_resident)
+        transfer.ensure_host_valid = self._transfer.wrap(transfer.ensure_host_valid)
+        transfer.register_write = self._transfer.wrap(transfer.register_write)
+        transfer._complete_d2d = self._transfer.wrap(transfer._complete_d2d)
+        transfer._complete_d2h = self._transfer.wrap(transfer._complete_d2h)
+        return self
+
+    # -------------------------------------------------------------- reading
+
+    @property
+    def engine_s(self) -> float:
+        return self._engine.total
+
+    @property
+    def dispatch_s(self) -> float:
+        return self._dispatch.total
+
+    @property
+    def transfer_path_s(self) -> float:
+        return self._transfer.total
+
+    def to_json(self) -> dict:
+        return {
+            "engine_s": self._engine.total,
+            "dispatch_s": self._dispatch.total,
+            "transfer_path_s": self._transfer.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PhaseCounters(engine={self._engine.total:.4f}s, "
+            f"dispatch={self._dispatch.total:.4f}s, "
+            f"transfer_path={self._transfer.total:.4f}s)"
+        )

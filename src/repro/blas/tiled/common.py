@@ -8,7 +8,6 @@ from repro.blas.flops import KERNEL_REGULARITY
 from repro.errors import BlasValidationError
 from repro.memory.layout import TilePartition
 from repro.memory.tile import Tile
-from repro.runtime.access import Access, AccessMode
 from repro.runtime.task import Task
 from repro.topology.device import characteristic_dim
 
@@ -30,9 +29,8 @@ def make_task(
     write_only: bool = False,
 ) -> Task:
     """Build one tile task: ``reads`` then the output tile accessed RW (or W)."""
-    mode = AccessMode.WRITE if write_only else AccessMode.READWRITE
     accesses = [t.read_access for t in reads]
-    accesses.append(Access(rw, mode))
+    accesses.append(rw.write_access if write_only else rw.rw_access)
     dim = _DIM_CACHE.get(dims)
     if dim is None:
         dim = _DIM_CACHE[dims] = characteristic_dim(*dims)
@@ -41,14 +39,7 @@ def make_task(
         regularity = _REGULARITY_CACHE[name] = KERNEL_REGULARITY.get(
             name.lstrip("dszc"), 1.0
         )
-    return Task(
-        name=name,
-        accesses=accesses,
-        flops=flops,
-        dim=dim,
-        kernel=kernel,
-        regularity=regularity,
-    )
+    return Task.build(name, accesses, flops, dim, kernel, regularity)
 
 
 def materialize_tasks(tasks: Iterable[Task]) -> list[Task]:

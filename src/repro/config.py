@@ -48,6 +48,12 @@ NVLINK2_SINGLE_BW = 48.4 * GB
 PCIE_PEER_BW = 17.2 * GB
 #: Host-to-device / device-to-host bandwidth of one x16 PCIe Gen3 link.
 PCIE_HOST_BW = 16.0 * GB
+#: Aggregate NVLink injection/ejection bandwidth of one V100 (6 bricks at
+#: ~25 GB/s each, derated to the sustained figure).  Sizes the per-device
+#: NVLink engines behind the paper's §IV-B observation that some GPUs take
+#: longer to send/receive than others; per-device override via
+#: :attr:`repro.topology.device.GpuSpec.nvlink_aggregate_bw`.
+NVLINK_AGGREGATE_BW = 132 * GB
 #: Local (intra-GPU) copy bandwidth, i.e. the diagonal of Fig. 2 (~750 GB/s
 #: corresponds to device-memory copy throughput).
 LOCAL_COPY_BW = 748.0 * GB
@@ -95,6 +101,14 @@ FUSED_EVENTS = True
 TRACE_EVENTS = True
 
 # --- verification -------------------------------------------------------------
+
+#: Default of ``RuntimeOptions.phase_counters``: accumulate wall-clock time
+#: per runtime phase (dispatch vs transfer path) in cheap perf-mode counters
+#: (:class:`repro.bench.phases.PhaseCounters`).  Off by default — the
+#: counters wrap the two hottest entry points of the runtime, so perfbench
+#: measures the production path untimed and replays each point with the flag
+#: flipped to attribute the wall clock.
+PHASE_COUNTERS = False
 
 #: Default of ``RuntimeOptions.verify_coherence``: run the coherence-protocol
 #: sanitizer (:class:`repro.verify.coherence.CoherenceSanitizer`) at every

@@ -87,6 +87,22 @@ class DeviceCache:
         self._resident[key] = _Resident(key=key, nbytes=nbytes, last_use=now)
         self._used += nbytes
 
+    def insert_pinned(self, key: TileKey, nbytes: int, now: float = 0.0) -> None:
+        """Fused :meth:`insert` + :meth:`pin` for the transfer-issue path.
+
+        Every tile the transfer manager inserts is immediately pinned until
+        its transfer lands, so one dict store covers both operations.
+        """
+        if key in self._resident:
+            raise CoherenceError(f"{key} already resident on device {self.device}")
+        if nbytes > self.free:
+            raise DeviceOutOfMemoryError(
+                f"device {self.device}: inserting {nbytes} B with only "
+                f"{self.free} B free (capacity {self.capacity})"
+            )
+        self._resident[key] = _Resident(key=key, nbytes=nbytes, last_use=now, pins=1)
+        self._used += nbytes
+
     def remove(self, key: TileKey) -> int:
         """Drop a resident tile; returns its size."""
         entry = self._resident.get(key)

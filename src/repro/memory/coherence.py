@@ -32,7 +32,12 @@ first touch, and per-tile state lives in parallel lists indexed by that id —
 * ``_gen[tid]`` — the tile generation guarding against ABA on flights;
 * ``_flights[tid]`` — ``dst -> InFlight``, insertion-ordered like the dict
   the previous implementation used (source-selection tie-breaks depend on
-  that order, so it is part of the contract).
+  that order, so it is part of the contract);
+* ``_fmask[tid]`` — bitmask of destinations with a live in-flight transfer
+  (same ``loc + 1`` bit layout as ``_valid``).  Redundant with the keys of
+  ``_flights[tid]`` by construction; it exists so the transfer hot path can
+  answer the overwhelmingly common "no transfer in flight" with one bit test
+  instead of a list index plus a dict probe.
 
 Every state transition is therefore O(1) integer arithmetic instead of a
 nested ``dict[TileKey, dict[int, ReplicaState]]`` walk — this directory sits
@@ -186,6 +191,7 @@ class CoherenceDirectory:
         self._mod: list[int] = []
         self._gen: list[int] = []
         self._flights: list[dict[int, InFlight]] = []
+        self._fmask: list[int] = []
         #: legacy per-key entry accessor (verification tests tamper through it)
         self._entries = _EntriesView(self)
 
@@ -202,6 +208,7 @@ class CoherenceDirectory:
             self._mod.append(0)
             self._gen.append(0)
             self._flights.append({})
+            self._fmask.append(0)
         return tid
 
     # ----------------------------------------------------------- id fast path
@@ -222,6 +229,14 @@ class CoherenceDirectory:
     def flights_map(self, tid: int) -> dict[int, InFlight]:
         """Live ``dst -> InFlight`` map of the tile (do not mutate)."""
         return self._flights[tid]
+
+    def flight_mask(self, tid: int) -> int:
+        """Bitmask of in-flight destinations (``loc + 1`` bit layout).
+
+        Zero means no transfer of the tile is in flight anywhere — the common
+        case the residency fast path tests before touching the flight dict.
+        """
+        return self._fmask[tid]
 
     # -------------------------------------------------------------- queries
 
@@ -323,6 +338,7 @@ class CoherenceDirectory:
             generation=self._gen[tid],
         )
         flights[dst] = flight
+        self._fmask[tid] |= 1 << (dst + 1)
         return flight
 
     def complete_transfer(self, key: TileKey, dst: int) -> bool:
@@ -340,9 +356,10 @@ class CoherenceDirectory:
         flight = self._flights[tid].pop(dst, None)
         if flight is None:
             raise CoherenceError(f"{key}: no in-flight transfer to {dst}")
+        bit = 1 << (dst + 1)
+        self._fmask[tid] &= ~bit
         if flight.generation != self._gen[tid]:
             return False
-        bit = 1 << (dst + 1)
         self._valid[tid] |= bit
         self._mod[tid] &= ~bit  # landing a copy installs a SHARED replica
         return True
@@ -364,6 +381,7 @@ class CoherenceDirectory:
         self._valid[tid] = bit
         self._mod[tid] = bit
         self._flights[tid].clear()
+        self._fmask[tid] = 0
 
     def downgrade(self, key: TileKey, location: int) -> None:
         """MODIFIED -> SHARED after the dirty replica has been copied elsewhere."""
@@ -438,6 +456,7 @@ class CoherenceDirectory:
             self._valid[tid] = bit
             self._mod[tid] = bit
             self._flights[tid].clear()
+            self._fmask[tid] = 0
         else:
             self._valid[tid] |= bit
             self._mod[tid] &= ~bit
@@ -449,3 +468,4 @@ class CoherenceDirectory:
         self._valid[tid] = _HOST_BIT
         self._mod[tid] = 0
         self._flights[tid].clear()
+        self._fmask[tid] = 0

@@ -62,9 +62,11 @@ class Tile:
     #: ``m``/``n`` per emitted task to derive flops and dims.
     m: int = dataclasses.field(init=False, repr=False)
     n: int = dataclasses.field(init=False, repr=False)
-    #: memoized READ :class:`~repro.runtime.access.Access` — see
-    #: :attr:`read_access`.
+    #: memoized READ/READWRITE/WRITE :class:`~repro.runtime.access.Access`
+    #: objects — see :attr:`read_access`.
     _read_access: object = dataclasses.field(init=False, repr=False, default=None)
+    _rw_access: object = dataclasses.field(init=False, repr=False, default=None)
+    _write_access: object = dataclasses.field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "nbytes", self.view.payload_bytes)
@@ -88,6 +90,29 @@ class Tile:
 
             acc = Access(self, AccessMode.READ)
             object.__setattr__(self, "_read_access", acc)
+        return acc
+
+    @property
+    def rw_access(self):
+        """The interned READWRITE access (one per chain of accumulating
+        tasks on an output tile — see :attr:`read_access` for the rationale)."""
+        acc = self._rw_access
+        if acc is None:
+            from repro.runtime.access import Access, AccessMode
+
+            acc = Access(self, AccessMode.READWRITE)
+            object.__setattr__(self, "_rw_access", acc)
+        return acc
+
+    @property
+    def write_access(self):
+        """The interned WRITE-only access (chain heads under ``beta == 0``)."""
+        acc = self._write_access
+        if acc is None:
+            from repro.runtime.access import Access, AccessMode
+
+            acc = Access(self, AccessMode.WRITE)
+            object.__setattr__(self, "_write_access", acc)
         return acc
 
     @property

@@ -129,6 +129,14 @@ class RuntimeOptions:
     fused_events: bool = dataclasses.field(
         default_factory=lambda: config.FUSED_EVENTS
     )
+    #: install :class:`repro.bench.phases.PhaseCounters` on this runtime —
+    #: per-phase (engine/dispatch/transfer-path) wall-time accumulators for
+    #: perf diagnosis.  Off by default: the production hot path then carries
+    #: no timing code at all.  The default follows
+    #: :data:`repro.config.PHASE_COUNTERS` at construction.
+    phase_counters: bool = dataclasses.field(
+        default_factory=lambda: config.PHASE_COUNTERS
+    )
 
 
 class Runtime:
@@ -192,6 +200,13 @@ class Runtime:
             stream_window=opts.stream_window,
             fused_events=opts.fused_events,
         )
+        #: per-phase wall-time counters, or None when not enabled.  Installed
+        #: last: the wrappers must see the fully-assembled object graph.
+        self.phases = None
+        if opts.phase_counters:
+            from repro.bench.phases import PhaseCounters
+
+            self.phases = PhaseCounters().install(self)
         self._partitions: dict[int, TilePartition] = {}
 
     def _make_scheduler(self) -> Scheduler:

@@ -63,6 +63,9 @@ class TaskGraph:
         #: only keeps counters and drops a task's references once it is done.
         self.retain_tasks = retain_tasks
         self._tasks: list[Task] = []
+        #: dep-dedupe scratch, reused across :meth:`add` calls (the graph is
+        #: built single-threaded and the set never escapes the call).
+        self._deps_buf: set[int] = set()
         self._added = 0
         self._edges = 0
         self._done = 0
@@ -87,7 +90,8 @@ class TaskGraph:
         """
         if task.state != "created":
             raise TaskGraphError(f"{task!r} already belongs to a graph")
-        deps: set[int] = set()  # uids, to dedupe multi-tile dependencies
+        deps = self._deps_buf  # uids, to dedupe multi-tile dependencies
+        deps.clear()
         uid = task.uid
         edges = 0
         unfinished = 0
@@ -107,20 +111,22 @@ class TaskGraph:
                     if writer is not None and writer.state != "done":
                         writer.successors.append(task)
                         unfinished += 1
-                for ruid, reader in hist.readers_since_write.items():
-                    if ruid != uid and ruid not in deps:
-                        deps.add(ruid)
-                        edges += 1
-                        if reader is not None and reader.state != "done":
-                            reader.successors.append(task)
-                            unfinished += 1
+                readers = hist.readers_since_write
+                if readers:  # empty for write-chain tiles — skip the view
+                    for ruid, reader in readers.items():
+                        if ruid != uid and ruid not in deps:
+                            deps.add(ruid)
+                            edges += 1
+                            if reader is not None and reader.state != "done":
+                                reader.successors.append(task)
+                                unfinished += 1
+                    readers.clear()
                 # History updated in the same pass: the uid guards above
                 # already exclude self-dependencies, so a task touching one
                 # tile twice sees its own earlier access filtered out rather
                 # than deferred — same edges, one traversal.
                 hist.last_writer = task
                 hist.last_writer_uid = uid
-                hist.readers_since_write.clear()
             else:
                 if wuid >= 0 and wuid != uid and wuid not in deps:
                     deps.add(wuid)
@@ -238,6 +244,7 @@ class TaskGraph:
         task.successors.clear()
         task.accesses = ()
         task.access_keys = ()
+        task.write_accesses = ()
         task.output_tile = None
 
     def all_done(self) -> bool:

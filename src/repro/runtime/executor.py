@@ -107,6 +107,10 @@ class _Worker:
     #: ``streams[0]``, dereferenced once — the wake gate and the load
     #: queries read the compute stream on every visit.
     stream0: Stream = dataclasses.field(init=False)
+    #: per-device kernel-duration memo, keyed by ``Task.kt_shape`` — the
+    #: launch path does one dict probe on the prebuilt tuple instead of
+    #: assembling a ``(dev, ...)`` key per launch.
+    durations: dict = dataclasses.field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.stream0 = self.streams[0]
@@ -198,12 +202,14 @@ class Executor:
         #: a batch skip the rescan — the shapes were already collected).
         self._pump_prefilled = True
         self._all_workers_mask = (1 << len(self.workers)) - 1
+        self._num_workers = len(self.workers)
         #: precomputed visit orders for the wake scan: ``_rot_orders[origin]``
         #: holds ``(worker, bit)`` pairs in the exact order a wake starting at
         #: ``origin`` visits them.  Walking one tuple and testing membership
         #: bits is cheaper than extracting/rotating set bits per visit — the
-        #: wake loop is the hottest code in the runtime and most visits are
-        #: gate rejections that pop nothing.
+        #: wake loop is the hottest code in the runtime, and whenever work is
+        #: stealable every worker is a candidate, so walking candidate bits
+        #: would not shorten the visit list.
         nw = len(self.workers)
         self._rot_orders = tuple(
             tuple(
@@ -223,22 +229,6 @@ class Executor:
         #: state unchanged since (-1.0 = dirty).  See _wake_all for the
         #: invariant; _enqueue and _complete_task dirty it.
         self._wake_clean_at = -1.0
-        # Direct aliases into the transfer manager's directory/cache internals
-        # for the launch-time residency fast path (same justification as the
-        # manager's own aliases: bound once, mutated in place, never rebound).
-        # The overwhelmingly common launch outcome is "input already valid on
-        # the launching device, ready now" — one interning probe, one validity
-        # bit test and one resident-entry probe, with zero method dispatch and
-        # none of the slow path's readiness accounting.
-        self._dir_ids = transfer._dir_ids
-        self._dir_valid = transfer._dir_valid
-        self._resident_maps = {
-            dev: cache._resident for dev, cache in transfer.caches.items()
-        }
-        #: memoized GpuSpec.kernel_time keyed on its full argument tuple —
-        #: tiled graphs repeat a handful of (flops, dim) shapes thousands of
-        #: times, and the efficiency-curve arithmetic is pure.
-        self._kernel_time_cache: dict[tuple, float] = {}
 
     # ------------------------------------------------------------ submission
 
@@ -393,7 +383,7 @@ class Executor:
     def _prefill_kernel_times(self, pending) -> None:
         """Vectorized kernel-time computation over a fused submission batch.
 
-        One numpy pass per device fills ``_kernel_time_cache`` for every
+        One numpy pass per device fills each worker's duration memo for every
         distinct (flops, dim, wordsize, regularity) shape in the batch —
         tiled graphs repeat a handful of shapes thousands of times, so the
         whole batch's kernel times are computed in a few array operations
@@ -401,19 +391,15 @@ class Executor:
         ``GpuSpec.kernel_time_batch`` mirrors the scalar operation order in
         float64, so cached values are bit-identical to the scalar path.
         """
-        cache = self._kernel_time_cache
         shapes: dict[tuple, None] = {}
         for entry in pending:
-            task = entry[2]
-            shapes[
-                (task.flops, task.dim, task.output_tile.wordsize, task.regularity)
-            ] = None
+            shapes[entry[2].kt_shape] = None
         for worker in self.workers:
-            dev = worker.device
-            missing = [s for s in shapes if (dev, *s) not in cache]
+            durations = worker.durations
+            missing = [s for s in shapes if s not in durations]
             if not missing:
                 continue
-            gpu = self.platform.gpus[dev]
+            gpu = self.platform.gpus[worker.device]
             times = gpu.kernel_time_batch(
                 [s[0] for s in missing],
                 [s[1] for s in missing],
@@ -423,7 +409,7 @@ class Executor:
             # .tolist() yields Python floats (exact value-preserving), so the
             # cache never leaks numpy scalars into virtual-time arithmetic.
             for s, duration in zip(missing, times.tolist()):
-                cache[(dev, *s)] = duration
+                durations[s] = duration
 
     def _enqueue(self, task: Task) -> None:
         """Task is schedulable: hand to the scheduler (or run a host flush)."""
@@ -471,7 +457,7 @@ class Executor:
         # the next launch can change its answer: nothing is pushed during a
         # wake, pops only remove tasks, device loads only grow when their own
         # deque drains, and idleness only decays as windows fill.
-        self._wake_origin = origin = (self._wake_origin + 1) % len(self.workers)
+        self._wake_origin = origin = (self._wake_origin + 1) % self._num_workers
         now = self.sim.now  # frozen for the whole wake
         if self._wake_clean_at == now:
             # A wake already ran at this instant and nothing it reads has
@@ -587,69 +573,34 @@ class Executor:
         worker.inflight += 1
         if worker.inflight >= worker.window:
             self._full_mask |= 1 << dev
-        protect = task.access_keys
         now = self.sim.now
-        transfer = self.transfer
-        inputs_ready = now + self.pop_overhead
-        transfer_cost = 0.0
-        pinned = []
-        # ensure_resident_pin's fast path, inlined: when the input is already
-        # valid on the launching device it is ready *now*, which can neither
-        # contribute transfer cost nor move inputs_ready (pop_overhead > 0) —
-        # so the whole readiness accounting collapses to the hit/pin
-        # bookkeeping below.  Misses and in-flight replicas take the full
-        # manager path.
-        dir_ids_get = self._dir_ids.get
-        dir_valid = self._dir_valid
-        dstbit = 1 << (dev + 1)
-        resident_get = self._resident_maps[dev].get
-        cache = transfer.caches[dev]
-        for access in task.accesses:
-            if access.reads:
-                tile = access.tile
-                key = tile.key
-                tid = dir_ids_get(key)
-                if tid is not None and dir_valid[tid] & dstbit:
-                    entry = resident_get(key)
-                    if entry is None:
-                        # Valid in the directory but not byte-accounted:
-                        # mirrors ensure_resident's defensive miss.
-                        cache.misses += 1
-                    else:
-                        cache.hits += 1
-                        if now > entry.last_use:
-                            entry.last_use = now
-                        entry.pins += 1
-                        pinned.append(key)
-                    continue
-                ready, was_pinned = transfer.ensure_resident_pin(
-                    tile, dev, earliest=now, protect=protect
-                )
-                if ready > now:
-                    transfer_cost += ready - now
-                if ready > inputs_ready:
-                    inputs_ready = ready
-                if was_pinned:
-                    pinned.append(key)
-            else:  # WRITE-only output
-                ready = transfer.allocate_output(access.tile, dev, now)
-                if ready > inputs_ready:
-                    inputs_ready = ready
-
-        kt_key = (dev, task.flops, task.dim, task.output_tile.wordsize, task.regularity)
-        duration = self._kernel_time_cache.get(kt_key)
-        if duration is None:
-            duration = self._kernel_time_cache[kt_key] = self.platform.gpus[
-                dev
-            ].kernel_time(
-                task.flops, task.dim, wordsize=kt_key[3], regularity=task.regularity
-            )
-        streams = worker.streams
-        stream = (
-            worker.stream0
-            if len(streams) == 1
-            else min(streams, key=lambda s: s.busy_until)
+        # One batched residency pass over the whole access list: the manager
+        # hoists every per-access attribute lookup and handles the hit/pin
+        # bookkeeping, miss staging and output allocation in declaration
+        # order, op-for-op as the former per-access loop.  Left as a plain
+        # attribute call (not hoisted at init) so instrumentation wrappers
+        # installed on the manager see every launch.
+        inputs_ready, transfer_cost, pinned = self.transfer.ensure_resident_batch(
+            task.accesses, dev, now, now + self.pop_overhead, task.access_keys
         )
+
+        shape = task.kt_shape
+        durations = worker.durations
+        duration = durations.get(shape)
+        if duration is None:
+            duration = durations[shape] = self.platform.gpus[dev].kernel_time(
+                shape[0], shape[1], wordsize=shape[2], regularity=shape[3]
+            )
+        # Least-loaded stream, first-wins on ties (what min() with a key
+        # returns) — an explicit strict-< scan so no key closure is allocated
+        # per launch.
+        streams = worker.streams
+        stream = streams[0]
+        busy = stream.busy_until
+        for s in streams:
+            sb = s.busy_until
+            if sb < busy:
+                stream, busy = s, sb
         if self.overlap:
             start, end = stream.reserve(duration, earliest=inputs_ready)
         else:
@@ -666,16 +617,22 @@ class Executor:
     def _complete_task(self, task: Task, worker: _Worker, pinned: list) -> None:
         """Kernel-completion event: writes registered, pins dropped, wake-up."""
         self._wake_clean_at = -1.0  # the window drains: wakes must rescan
-        self._execute_numeric(task)
-        for access in task.accesses:
-            if access.writes:
-                self.transfer.register_write(access.tile, worker.device, self.sim.now)
-        self.transfer.caches[worker.device].unpin_many(pinned)
+        # The numeric bail is inlined (perf mode completes thousands of tasks
+        # and never runs a kernel); _execute_numeric re-checks for the
+        # numeric-mode path.
+        if task.kernel is not None and task.output_tile.matrix.numeric:
+            self._execute_numeric(task)
+        transfer = self.transfer
+        dev = worker.device
+        now = self.sim.now
+        for access in task.write_accesses:
+            transfer.register_write(access.tile, dev, now)
+        transfer.caches[dev].unpin_many(pinned)
         if not self.retain_inputs:
-            self._drop_clean_inputs(task, worker.device)
-        if self.transfer.sanitizer is not None:
+            self._drop_clean_inputs(task, dev)
+        if transfer.sanitizer is not None:
             for access in task.accesses:
-                self.transfer.sanitize(access.tile.key)
+                transfer.sanitize(access.tile.key)
         if worker.inflight >= worker.window:
             self._full_mask &= ~(1 << worker.device)
         worker.inflight -= 1
@@ -716,8 +673,9 @@ class Executor:
 
     def _finish(self, task: Task) -> None:
         self._completed += 1
-        newly_ready = self.graph.complete(task)
-        if not self.graph.retain_tasks:
+        graph = self.graph
+        newly_ready = graph.complete(task)
+        if not graph.retain_tasks:
             # Reclaiming mode: the graph just retired the task; drop the
             # executor's own bookkeeping so the uid sets stay bounded by the
             # in-flight window instead of growing with the whole run.  (The
@@ -726,10 +684,7 @@ class Executor:
             self._flush_tasks.discard(task.uid)
         if self._stream_paused:
             window = self._stream_window
-            if (
-                window is None
-                or self.graph.num_tasks - self.graph.num_done < window
-            ):
+            if window is None or graph.num_tasks - graph.num_done < window:
                 self._stream_paused = False
                 self._pull_next()
         for succ in newly_ready:

@@ -26,10 +26,28 @@ from repro.topology.platform import Platform
 
 
 class Fabric:
-    """All communication channels of one simulated platform instance."""
+    """All communication channels of one simulated platform instance.
+
+    Besides the channels, the fabric owns every precomputed routing table the
+    transfer heuristics consult per transfer: per-route latency/bandwidth
+    vectors (for :meth:`estimate`), per-destination link-performance rank
+    keys, raw link bandwidths, and — on platforms small enough to enumerate —
+    the full candidate-mask source-selection tables (:attr:`mask_members`,
+    :attr:`best_source_by_mask`), which collapse the topology-aware argmin
+    over a validity bitmask into a single list index.  The topology is
+    immutable for the fabric's lifetime, so all of these are built once here
+    and shared by every consumer.
+    """
 
     #: Aggregate NVLink bandwidth of one V100 (6 bricks x ~25 GB/s, derated).
+    #: Kept as the class-level default; per-device figures come from
+    #: :attr:`repro.topology.device.GpuSpec.nvlink_aggregate_bw`.
     NVLINK_AGGREGATE_BW = 132e9
+
+    #: largest GPU count for which the 2**n-entry candidate-mask tables are
+    #: enumerated; beyond it :attr:`best_source_by_mask` / :attr:`mask_members`
+    #: are None and selection falls back to the per-call bitmask walk.
+    MASK_TABLE_MAX_GPUS = 12
 
     def __init__(self, sim: Simulator, platform: Platform) -> None:
         self.sim = sim
@@ -81,11 +99,21 @@ class Fabric:
         # paper's §IV-B observation that "some GPUs require more time to send
         # or receive data than the others".
         self._nvlink_egress = {
-            dev: Channel(sim, self.NVLINK_AGGREGATE_BW, 0.0, name=f"nvl-out-{dev}")
+            dev: Channel(
+                sim,
+                platform.gpus[dev].nvlink_aggregate_bw,
+                0.0,
+                name=f"nvl-out-{dev}",
+            )
             for dev in range(n)
         }
         self._nvlink_ingress = {
-            dev: Channel(sim, self.NVLINK_AGGREGATE_BW, 0.0, name=f"nvl-in-{dev}")
+            dev: Channel(
+                sim,
+                platform.gpus[dev].nvlink_aggregate_bw,
+                0.0,
+                name=f"nvl-in-{dev}",
+            )
             for dev in range(n)
         }
         # Effective (latency, bandwidth) of every directed route, flattened to
@@ -126,6 +154,68 @@ class Fabric:
         #: is value-preserving, so entries are bit-identical to the scalar
         #: ``latency + nbytes / bandwidth`` the channels would compute).
         self._duration_tables: dict[int, list[float]] = {}
+        #: per-route tuple of the channels whose FIFO backlog gates a transfer
+        #: on that route, same flat indexing as the latency/bandwidth tables —
+        #: :meth:`estimate` maxes their ``busy_until`` in one walk instead of
+        #: re-deriving the route shape per call.
+        deps: list[tuple[Channel, ...]] = [()] * (stride * stride)
+        for dst in range(n):
+            deps[dst + 1] = (self._h2d[dst],)
+        for src in range(n):
+            deps[(src + 1) * stride] = (self._d2h[src],)
+            for dst in range(n):
+                idx = (src + 1) * stride + dst + 1
+                direct = self._p2p.get((src, dst))
+                if direct is not None:
+                    deps[idx] = (
+                        direct,
+                        self._nvlink_egress[src],
+                        self._nvlink_ingress[dst],
+                    )
+                else:
+                    deps[idx] = (self._d2h[src], self._h2d[dst])
+        self._route_deps = deps
+        # --- source-selection tables (consumed by the transfer manager) ---
+        # rank_key[dst][src] is the (performance-rank, src) sort key behind
+        # Platform.peers_by_rank; link_bandwidth the raw directed figure.
+        devices = range(n)
+        self.rank_key: list[dict[int, tuple[int, int]]] = [
+            {
+                src: (platform.p2p_performance_rank(src, dst), src)
+                for src in devices
+                if src != dst
+            }
+            for dst in devices
+        ]
+        self.link_bandwidth: dict[tuple[int, int], float] = {
+            (src, dst): platform.link(src, dst).bandwidth
+            for dst in devices
+            for src in devices
+            if src != dst
+        }
+        # Candidate-mask tables: mask_members[mask] lists the devices of a
+        # validity bitmask in ascending id order (the order the bitmask walk
+        # produces), and best_source_by_mask[dst][mask] is the rank-minimal
+        # member — the whole topology-aware source pick becomes one index.
+        if n <= self.MASK_TABLE_MAX_GPUS:
+            members: list[tuple[int, ...]] = [()] * (1 << n)
+            for mask in range(1, 1 << n):
+                low = mask & -mask
+                members[mask] = (low.bit_length() - 1, *members[mask ^ low])
+            self.mask_members: tuple[tuple[int, ...], ...] | None = tuple(members)
+            best: list[list[int]] = []
+            for dst in devices:
+                rank = self.rank_key[dst]
+                table = [-1] * (1 << n)
+                for mask in range(1, 1 << n):
+                    m = mask & ~(1 << dst)
+                    if m:
+                        table[mask] = min(members[m], key=rank.__getitem__)
+                best.append(table)
+            self.best_source_by_mask: list[list[int]] | None = best
+        else:
+            self.mask_members = None
+            self.best_source_by_mask = None
 
     # ------------------------------------------------------------- reserving
 
@@ -156,8 +246,10 @@ class Fabric:
             # engines charge their own occupancy so fan-in/fan-out hotspots
             # serialize.
             e_start, _ = self._nvlink_egress[src].reserve(nbytes, earliest)
-            i_start, _ = self._nvlink_ingress[dst].reserve(nbytes, max(earliest, e_start))
-            return direct.reserve(nbytes, max(e_start, i_start))
+            i_start, _ = self._nvlink_ingress[dst].reserve(
+                nbytes, earliest if earliest > e_start else e_start
+            )
+            return direct.reserve(nbytes, i_start if i_start > e_start else e_start)
         link = self.platform.link(src, dst)
         out_chan = self._d2h[src]
         in_chan = self._h2d[dst]
@@ -184,6 +276,15 @@ class Fabric:
     def reserve_local(self, dev: int, nbytes: int, earliest: float) -> tuple[float, float]:
         return self._local[dev].reserve(nbytes, earliest)
 
+    def d2h_channel(self, src: int) -> Channel:
+        """The D2H switch channel serving ``src`` (shared per switch group).
+
+        Exposed so the transfer manager can batch several write-back
+        reservations on one channel (``Channel.reserve_batch``) when an
+        allocation evicts multiple dirty victims at once.
+        """
+        return self._d2h[src]
+
     # ------------------------------------------------------------ estimating
 
     def _durations(self, nbytes: int) -> list[float]:
@@ -209,37 +310,22 @@ class Fabric:
         Accounts for the current FIFO backlog of the channels involved; used
         by source-selection policies to compare candidate routes.  The
         duration term comes from the vectorized per-size route table
-        (:meth:`_durations`), bit-identical to the channels' scalar
-        ``transfer_time``.
+        (:meth:`_durations`) and the backlog term from the precomputed
+        per-route channel tuple — both bit-identical to walking the route
+        shape by hand (a max over the same operands in the same order).
         """
-        duration = self._durations(nbytes)[
-            (src + 1) * self._route_stride + dst + 1
-        ]
-        if src == HOST:
-            chan = self._h2d[dst]
-            start = max(earliest, self.sim.now, chan.busy_until)
-            return start + duration
-        if dst == HOST:
-            chan = self._d2h[src]
-            start = max(earliest, self.sim.now, chan.busy_until)
-            return start + duration
-        direct = self._p2p.get((src, dst))
-        if direct is not None:
-            start = max(
-                earliest,
-                self.sim.now,
-                direct.busy_until,
-                self._nvlink_egress[src].busy_until,
-                self._nvlink_ingress[dst].busy_until,
-            )
-            return start + duration
-        start = max(
-            earliest,
-            self.sim.now,
-            self._d2h[src].busy_until,
-            self._h2d[dst].busy_until,
-        )
-        return start + duration
+        idx = (src + 1) * self._route_stride + dst + 1
+        table = self._duration_tables.get(nbytes)
+        if table is None:
+            table = self._durations(nbytes)
+        start = self.sim.now
+        if earliest > start:
+            start = earliest
+        for chan in self._route_deps[idx]:
+            busy = chan.busy_until
+            if busy > start:
+                start = busy
+        return start + table[idx]
 
     # ------------------------------------------------------------ inspection
 

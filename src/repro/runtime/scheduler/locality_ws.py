@@ -79,28 +79,32 @@ class LocalityWorkStealing(Scheduler):
         # is what keeps wavefront-shaped graphs (TRMM) from strangling on a
         # few owner devices.
         est = ctx.kernel_estimate(task, dev)
-        loads_fn = ctx.device_loads
-        if loads_fn is not None:
-            # Bulk query: one call for all backlogs.  min() over the full list
-            # equals the owner/others split below because the owner's load is
-            # a member of both.
-            loads = loads_fn()
-            owner_load = loads[dev]
-            min_load = min(loads)
-        else:
-            device_load = ctx.device_load
-            owner_load = device_load(dev)
-            min_load = owner_load
-            for d in range(self.num_devices):
-                if d != dev:
-                    load = device_load(d)
-                    if load < min_load:
-                        min_load = load
-        if owner_load - min_load > 4.0 * est and min_load < est:
-            self._host_queue.append(task)
-        else:
-            self._deques[dev].append(task)
-            self._deque_mask |= 1 << dev
+        owner_load = ctx.device_load(dev)
+        # Backlogs are clamped non-negative, so ``owner_load - min_load``
+        # never exceeds ``owner_load`` (IEEE: subtracting a non-negative
+        # float cannot round above the minuend).  When the owner itself is
+        # within the release margin the condition below is provably false —
+        # skip the all-devices backlog scan entirely on that common path.
+        if owner_load > 4.0 * est:
+            loads_fn = ctx.device_loads
+            if loads_fn is not None:
+                # Bulk query: one call for all backlogs.  min() over the full
+                # list equals the owner/others split below because the owner's
+                # load is a member of both.
+                min_load = min(loads_fn())
+            else:
+                device_load = ctx.device_load
+                min_load = owner_load
+                for d in range(self.num_devices):
+                    if d != dev:
+                        load = device_load(d)
+                        if load < min_load:
+                            min_load = load
+            if owner_load - min_load > 4.0 * est and min_load < est:
+                self._host_queue.append(task)
+                return
+        self._deques[dev].append(task)
+        self._deque_mask |= 1 << dev
 
     # -------------------------------------------------------------- serving
 

@@ -21,6 +21,8 @@ from repro.runtime.access import Access, AccessMode
 
 _task_ids = itertools.count()
 
+_NAN = float("nan")
+
 #: Signature of a numeric kernel: receives the device arrays of the task's
 #: accesses *in declaration order* and mutates the written ones in place.
 NumericKernel = Callable[..., None]
@@ -65,6 +67,14 @@ class Task:
     #: after construction); the executor passes this as the eviction-protect
     #: set on every input transfer instead of rebuilding the tuple per launch.
     access_keys: tuple = ()
+    #: the written accesses, precomputed for the completion path: write
+    #: registration runs once per finished task and only visits these instead
+    #: of filtering the full access list each time.
+    write_accesses: tuple = ()
+    #: ``(flops, dim, wordsize, regularity)`` — the kernel-duration cache key,
+    #: prebuilt so the launch path indexes a per-worker duration table with
+    #: one attribute load instead of assembling a tuple per launch.
+    kt_shape: tuple = ()
     #: the first written tile (first access for reads-only tasks) — the
     #: owner-computes anchor, precomputed for the same reason as
     #: ``access_keys``: the schedulers read it on every push.
@@ -93,12 +103,75 @@ class Task:
             raise TaskGraphError(f"task {self.name}: a task must access data")
         keys = []
         out = None
+        writes = []
         for a in self.accesses:
             keys.append(a.tile.key)
-            if out is None and a.writes:
-                out = a.tile
+            if a.writes:
+                writes.append(a)
+                if out is None:
+                    out = a.tile
         self.access_keys = tuple(keys)
+        self.write_accesses = tuple(writes)
         self.output_tile = out if out is not None else self.accesses[0].tile
+        self.kt_shape = (
+            self.flops, self.dim, self.output_tile.wordsize, self.regularity
+        )
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        accesses: Sequence[Access],
+        flops: float,
+        dim: int,
+        kernel: NumericKernel | None,
+        regularity: float,
+    ) -> "Task":
+        """Construct a task without the dataclass ``__init__`` machinery.
+
+        The tiled builders emit thousands of tasks per call; the generated
+        ``__init__`` parses seven keywords, walks the default table and then
+        calls ``__post_init__`` in a second frame.  This sets every slot
+        directly in one frame — field-for-field identical to
+        ``Task(name=..., ..., regularity=...)``, and it must stay in sync
+        with the field list above.
+        """
+        if flops < 0:
+            raise TaskGraphError(f"task {name}: negative flops")
+        if not accesses:
+            raise TaskGraphError(f"task {name}: a task must access data")
+        task = object.__new__(cls)
+        task.name = name
+        task.accesses = accesses
+        task.flops = flops
+        task.dim = dim
+        task.kernel = kernel
+        task.regularity = regularity
+        task.priority = 0
+        task.owner_hint = None
+        task.uid = next(_task_ids)  # det: unique-only, never decision input
+        task.unfinished_predecessors = 0
+        task.successors = []
+        task.submitted = False
+        task.device = None
+        task.start_time = _NAN
+        task.end_time = _NAN
+        task.state = "created"
+        keys = []
+        out = None
+        writes = []
+        for a in accesses:
+            keys.append(a.tile.key)
+            if a.writes:
+                writes.append(a)
+                if out is None:
+                    out = a.tile
+        task.access_keys = tuple(keys)
+        task.write_accesses = tuple(writes)
+        out = out if out is not None else accesses[0].tile
+        task.output_tile = out
+        task.kt_shape = (flops, dim, out.wordsize, regularity)
+        return task
 
     # -------------------------------------------------------------- queries
 

@@ -21,6 +21,28 @@ the active :class:`~repro.runtime.policies.SourcePolicy`:
 The manager also owns device-memory admission: before a transfer lands, space
 is ensured in the destination's :class:`~repro.memory.cache.DeviceCache`,
 evicting victims chosen by the cache's policy and writing dirty ones back.
+
+Hot-path layout
+---------------
+
+The per-tile state the manager consults per access is array-backed on the
+directory's interned tile ids: validity and host-validity bits
+(``directory._valid``), the in-flight destination bitmask
+(``directory._fmask`` — one integer test answers "nothing in flight", the
+overwhelmingly common case), the insertion-ordered flight maps
+(``directory._flights``) and the page-lock deadlines (``_pin_ready``, indexed
+by the run-local :meth:`DataStore.matrix_index`; the dict-keyed view survives
+as the :attr:`pinned_matrices` adapter).  Source selection reads the fabric's
+precomputed tables (`rank_key`, `best_source_by_mask`, `mask_members`,
+`link_bandwidth`) instead of re-deriving topology facts per transfer.
+
+The executor's launch path enters through :meth:`ensure_resident_batch`: one
+pass over all of a task's accesses with every per-access attribute lookup
+hoisted.  The batch is *op-for-op* identical to calling the single-access
+entry points in declaration order — every cache counter, channel reservation,
+directory transition and completion post happens in the same sequence, so all
+virtual-time output (golden makespans, transfer stats, per-task schedules) is
+bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -36,6 +58,9 @@ from repro.sim.engine import Simulator
 from repro.sim.trace import TraceCategory, TraceRecorder
 from repro.topology.link import HOST
 from repro.topology.platform import Platform
+
+#: bit of the host inside the validity / in-flight masks (``HOST + 1 == 0``).
+_HOST_BIT = 1 << (HOST + 1)
 
 
 def _mix(matrix_index: int, i: int, j: int, dst: int) -> int:
@@ -91,34 +116,25 @@ class TransferManager:
         self.policy = policy
         #: host page-locking model (None = ignored, the paper's methodology).
         self.pinning_bandwidth = pinning_bandwidth
-        self._pinned_matrices: dict[int, float] = {}  # matrix id -> ready time
+        #: array-backed page-lock deadlines, indexed by the run-local
+        #: :meth:`DataStore.matrix_index` (-1.0 = not yet page-locked); the
+        #: dict-keyed view lives on as :attr:`pinned_matrices`.
+        self._pin_ready: list[float] = []
         self._pin_clock = 0.0  # page-locking is serial host work
-        # Per-destination link-rank and bandwidth tables.  The topology is
-        # immutable for the lifetime of the manager, so the (rank, src) sort
-        # key behind Platform.peers_by_rank is precomputed once per (dst, src)
-        # pair: source selection then reduces to a min() over a dict lookup
-        # instead of re-sorting the candidate list on every transfer.
-        # Direct references into the directory's interning dict and validity
-        # array for the residency fast path below.  Both are bound once in
+        # Direct references into the directory's interning dict and state
+        # arrays for the residency fast paths below.  All are bound once in
         # CoherenceDirectory.__init__ and only ever mutated in place
         # (append/assign), never rebound, so the aliases stay live.
         self._dir_ids = directory._ids
         self._dir_valid = directory._valid
-        devices = list(platform.device_ids())
-        self._rank_key: dict[int, dict[int, tuple[int, int]]] = {
-            dst: {
-                src: (platform.p2p_performance_rank(src, dst), src)
-                for src in devices
-                if src != dst
-            }
-            for dst in devices
-        }
-        self._link_bandwidth: dict[tuple[int, int], float] = {
-            (src, dst): platform.link(src, dst).bandwidth
-            for dst in devices
-            for src in devices
-            if src != dst
-        }
+        self._dir_fmask = directory._fmask
+        self._dir_flights = directory._flights
+        # Source-selection tables, built once per platform on the fabric and
+        # shared by every consumer (see Fabric.__init__).
+        self._rank_key = fabric.rank_key
+        self._link_bandwidth = fabric.link_bandwidth
+        self._best_by_mask = fabric.best_source_by_mask
+        self._mask_members = fabric.mask_members
         # statistics
         self.h2d_transfers = 0
         self.d2h_transfers = 0
@@ -145,7 +161,6 @@ class TransferManager:
         now = self.sim.now if earliest is None else max(self.sim.now, earliest)
         key = tile.key
         cache = self.caches[dst]
-        directory = self.directory
 
         # Inlined directory.lookup + is_valid_id: this is the hottest call of
         # the whole runtime (every read access of every launch lands here) and
@@ -153,18 +168,127 @@ class TransferManager:
         # dict probe plus one bit test, no method dispatch.
         tid = self._dir_ids.get(key)
         if tid is None:
-            tid = directory.lookup(key)
-        if self._dir_valid[tid] & (1 << (dst + 1)):
+            tid = self.directory.lookup(key)
+        dstbit = 1 << (dst + 1)
+        if self._dir_valid[tid] & dstbit:
             # A replica valid on a device was transferred or seeded there, so
             # the tile is already registered — the fast paths skip that call.
             cache.access_hit(key, now)
             return now
 
-        flight = directory.flights_map(tid).get(dst)
-        if flight is not None:
+        if self._dir_fmask[tid] & dstbit:
             cache.record_access(key)
+            flight = self._dir_flights[tid][dst]
             return max(now, flight.completes_at)
 
+        return self._issue_transfer(tile, key, tid, dst, cache, now, protect)
+
+    def ensure_resident_batch(
+        self,
+        accesses,
+        dst: int,
+        now: float,
+        inputs_ready: float,
+        protect: tuple[TileKey, ...] = (),
+    ) -> tuple[float, float, list[TileKey]]:
+        """Residency for every access of one launching task, in one pass.
+
+        Read accesses are ensured resident on ``dst`` and pinned for the
+        launch; WRITE-only accesses get their output allocation.  Returns
+        ``(inputs_ready, transfer_cost, pinned)``: the given readiness bound
+        folded with every access's ready time, the accumulated per-access
+        delay beyond ``now`` (charged to the kernel stream by the no-overlap
+        model), and the keys pinned on ``dst`` for the task's lifetime.
+
+        Op-for-op equivalent to the former per-access launch loop (hit/pin
+        bookkeeping on the fast path, :meth:`ensure_resident` plus the launch
+        pin on misses, :meth:`allocate_output` for outputs): every cache
+        counter, reservation, directory transition and completion post runs
+        in the same order, so virtual-time output is bit-identical.  The
+        batch form exists to hoist the per-access attribute traffic out of
+        the hottest loop of the runtime.
+        """
+        transfer_cost = 0.0
+        pinned: list[TileKey] = []
+        pinned_append = pinned.append
+        cache = self.caches[dst]
+        resident_get = cache._resident.get
+        dir_ids_get = self._dir_ids.get
+        dir_valid = self._dir_valid
+        dstbit = 1 << (dst + 1)
+        for access in accesses:
+            tile = access.tile
+            key = tile.key
+            if access.reads:
+                tid = dir_ids_get(key)
+                if tid is not None and dir_valid[tid] & dstbit:
+                    entry = resident_get(key)
+                    if entry is None:
+                        # Valid in the directory but not byte-accounted:
+                        # mirrors the defensive miss of the slow path.
+                        cache.misses += 1
+                    else:
+                        cache.hits += 1
+                        if now > entry.last_use:
+                            entry.last_use = now
+                        entry.pins += 1
+                        pinned_append(key)
+                    continue
+                if tid is None:
+                    tid = self.directory.lookup(key)
+                if self._dir_fmask[tid] & dstbit:
+                    # In flight to this device: chain on the landing; the
+                    # replica was byte-accounted (and landing-pinned) when
+                    # the transfer was issued, so the launch pin is one
+                    # entry probe (record_access + pin_if_resident, fused).
+                    entry = resident_get(key)
+                    if entry is None:
+                        cache.misses += 1
+                    else:
+                        cache.hits += 1
+                        entry.pins += 1
+                        pinned_append(key)
+                    ready = self._dir_flights[tid][dst].completes_at
+                else:
+                    ready = self._issue_transfer(
+                        tile, key, tid, dst, cache, now, protect
+                    )
+                    cache.pin(key)  # the launch pin, atop the landing pin
+                    pinned_append(key)
+                if ready > now:
+                    transfer_cost += ready - now
+                    if ready > inputs_ready:
+                        inputs_ready = ready
+            else:  # WRITE-only output (allocate_output, inlined)
+                self.datastore.register(tile)
+                if resident_get(key) is None:
+                    tid = dir_ids_get(key)
+                    if tid is None:
+                        tid = self.directory.lookup(key)
+                    if not self._dir_fmask[tid] & dstbit:
+                        ready = self._make_room(dst, tile.nbytes, now)
+                        self.datastore.allocate_device_tile(tile, dst)
+                        if ready > inputs_ready:
+                            inputs_ready = ready
+        return inputs_ready, transfer_cost, pinned
+
+    def _issue_transfer(
+        self,
+        tile: Tile,
+        key: TileKey,
+        tid: int,
+        dst: int,
+        cache: DeviceCache,
+        now: float,
+        protect: tuple[TileKey, ...],
+    ) -> float:
+        """The residency miss path: pick a source, make room, reserve the
+        route, record the flight; returns the landing time.
+
+        The op *order* here (stats, reservation, directory transition,
+        insert+pin, completion post) is part of the bit-identity contract —
+        recorded goldens pin the exact interleaving.
+        """
         self.datastore.register(tile)
         if cache.record_access(key):
             # Resident but not valid and not in flight: stale bytes left by a
@@ -174,54 +298,41 @@ class TransferManager:
         source, source_ready = self._select_source(key, dst, now, tid)
         alloc_ready = self._make_room(dst, tile.nbytes, now, protect=protect)
         if source == HOST:
-            source_ready = max(source_ready, self._ensure_pinned(tile, now))
-        start_lb = max(now, source_ready, alloc_ready)
+            pin_ready = self._ensure_pinned(tile, now)
+            if pin_ready > source_ready:
+                source_ready = pin_ready
+        # max(now, source_ready, alloc_ready), inlined (per-transfer path).
+        start_lb = now
+        if source_ready > start_lb:
+            start_lb = source_ready
+        if alloc_ready > start_lb:
+            start_lb = alloc_ready
         start, end = self.fabric.reserve(source, dst, tile.nbytes, start_lb)
-        directory.begin_transfer_id(tid, key, dst, completes_at=end, source=source)
-        cache.insert(key, tile.nbytes, now=end)
-        cache.pin(key)  # protect until landed; unpinned in the completion event
+        self.directory.begin_transfer_id(tid, key, dst, completes_at=end, source=source)
+        # Insert + protect until landed; the landing pin drops in the
+        # completion event.
+        cache.insert_pinned(key, tile.nbytes, now=end)
         # Pin the source replica too: a DMA must not read a freed buffer.
         src_pinned = source != HOST and self.caches[source].pin_if_resident(key)
         if source == HOST:
             self.h2d_transfers += 1
-            self.trace.record(
-                TraceCategory.MEMCPY_HTOD, dst, start, end,
-                lambda: f"h2d {key}", tile.nbytes,
-            )
+            if self.trace.enabled:
+                self.trace.record(
+                    TraceCategory.MEMCPY_HTOD, dst, start, end,
+                    lambda: f"h2d {key}", tile.nbytes,
+                )
         else:
             self.p2p_transfers += 1
-            self.trace.record(
-                TraceCategory.MEMCPY_PTOP, dst, start, end,
-                lambda: f"p2p {source}->{dst} {key}", tile.nbytes,
-            )
+            if self.trace.enabled:
+                self.trace.record(
+                    TraceCategory.MEMCPY_PTOP, dst, start, end,
+                    lambda: f"p2p {source}->{dst} {key}", tile.nbytes,
+                )
 
         self.sim.post(end, self._complete_d2d, tile, tid, source, dst, src_pinned)
-        self.sanitize(key)
+        if self.sanitizer is not None:
+            self.sanitizer.check_tile(key)
         return end
-
-    def ensure_resident_pin(
-        self,
-        tile: Tile,
-        dst: int,
-        earliest: float | None = None,
-        protect: tuple[TileKey, ...] = (),
-    ) -> tuple[float, bool]:
-        """:meth:`ensure_resident` plus the launch pin in one replica walk.
-
-        The executor pins every input that is resident right after ensuring
-        residency; fusing the two into ``(ready, pinned)`` lets the common
-        already-valid outcome resolve with a single cache probe
-        (:meth:`DeviceCache.access_hit_pin`) instead of two.
-        """
-        now = self.sim.now
-        if earliest is not None and earliest > now:
-            now = earliest
-        key = tile.key
-        tid = self._dir_ids.get(key)
-        if tid is not None and self._dir_valid[tid] & (1 << (dst + 1)):
-            return now, self.caches[dst].access_hit_pin(key, now)
-        ready = self.ensure_resident(tile, dst, earliest=earliest, protect=protect)
-        return ready, self.caches[dst].pin_if_resident(key)
 
     def _complete_d2d(
         self, tile: Tile, tid: int, source: int, dst: int, src_pinned: bool
@@ -240,7 +351,8 @@ class TransferManager:
             self.caches[source].unpin_if_resident(key)
         if landed:
             self.datastore.copy_tile(tile, source, dst)
-            self._refresh_shared_flags(key, tid)
+            if self._track_shared:
+                self._refresh_shared_flags(key, tid)
         else:
             # Invalidated mid-flight by a writer: drop the stale bytes.
             cache.remove(key)
@@ -259,55 +371,66 @@ class TransferManager:
         ``tid`` is the directory id of ``key`` — the caller already interned
         it, so this path never re-hashes the key against the directory.
         """
-        directory = self.directory
-        dmask = directory.device_valid_mask(tid) & ~(1 << dst)
-        if dmask and self.policy.uses_device_sources:
-            if self.policy.topology_aware:
-                # Equivalent to Platform.peers_by_rank(dst, candidates)[0]
-                # (min over the same (rank, device-id) key), without
-                # re-sorting per transfer — iterating the valid-device
-                # bitmask directly, no candidate list built.
-                rank = self._rank_key[dst]
-                best = -1
-                best_rank: tuple[int, int] | None = None
-                m = dmask
-                while m:
-                    low = m & -m
-                    m ^= low
-                    d = low.bit_length() - 1
-                    r = rank[d]
-                    if best_rank is None or r < best_rank:
-                        best, best_rank = d, r
+        dmask = (self._dir_valid[tid] >> 1) & ~(1 << dst)
+        policy = self.policy
+        if dmask and policy.uses_device_sources:
+            if policy.topology_aware:
+                table = self._best_by_mask
+                if table is not None:
+                    # Equivalent to Platform.peers_by_rank(dst, candidates)[0]
+                    # (min over the same (rank, device-id) key), precomputed
+                    # for every candidate mask — one list index per pick.
+                    best = table[dst][dmask]
+                else:  # platform too large for mask tables: walk the bitmask
+                    rank = self._rank_key[dst]
+                    best = -1
+                    best_rank: tuple[int, int] | None = None
+                    m = dmask
+                    while m:
+                        low = m & -m
+                        m ^= low
+                        d = low.bit_length() - 1
+                        r = rank[d]
+                        if best_rank is None or r < best_rank:
+                            best, best_rank = d, r
             else:
                 # "No ranking" = whichever replica the runtime happens to find
                 # first; modelled as a deterministic pseudo-random pick so no
                 # artificial hot source emerges (the paper's no-topo variant
                 # is link-class-blind, not systematically biased).
-                candidates = []
-                m = dmask
-                while m:
-                    low = m & -m
-                    m ^= low
-                    candidates.append(low.bit_length() - 1)
+                members = self._mask_members
+                if members is not None:
+                    candidates = members[dmask]
+                else:
+                    candidates = []
+                    m = dmask
+                    while m:
+                        low = m & -m
+                        m ^= low
+                        candidates.append(low.bit_length() - 1)
                 best = candidates[self._tile_mix(key, dst) % len(candidates)]
             self.caches[best].touch(key, now)
             return best, now
-        if self.policy.optimistic:
+        fmask = self._dir_fmask[tid]
+        if policy.optimistic and fmask & ~_HOST_BIT & ~(1 << (dst + 1)):
             # Optimistic device-to-device forwarding (§III-C): prefer waiting
             # for an in-flight replica and forwarding it over NVLink to
             # issuing another host copy over the congested PCIe fabric — but
             # only when the estimated arrival actually beats the direct host
             # route (a forward behind a long DMA backlog would be pessimism,
-            # not optimism).
+            # not optimism).  The flight-mask guard above skips the estimate
+            # entirely when nothing is in flight toward another device.
             nbytes = self.datastore.tile(key).nbytes
-            host_eta = self.fabric.estimate(HOST, dst, nbytes, now)
+            fabric = self.fabric
+            host_eta = fabric.estimate(HOST, dst, nbytes, now)
             best_flight = None
             best_eta = host_eta
-            for flight in directory.flights_map(tid).values():
-                if flight.dst == dst or flight.dst == HOST:
+            for flight in self._dir_flights[tid].values():
+                fdst = flight.dst
+                if fdst == dst or fdst == HOST:
                     continue
-                eta = self.fabric.estimate(
-                    flight.dst, dst, nbytes, max(now, flight.completes_at)
+                eta = fabric.estimate(
+                    fdst, dst, nbytes, max(now, flight.completes_at)
                 )
                 if eta < best_eta:
                     best_flight, best_eta = flight, eta
@@ -315,11 +438,10 @@ class TransferManager:
                 self.optimistic_forwards += 1
                 return best_flight.dst, best_flight.completes_at
         # Fall back to the host.
-        if directory.host_valid_id(tid):
+        if self._dir_valid[tid] & _HOST_BIT:
             return HOST, now
-        host_flight = directory.flights_map(tid).get(HOST)
-        if host_flight is not None:
-            return HOST, host_flight.completes_at
+        if fmask & _HOST_BIT:
+            return HOST, self._dir_flights[tid][HOST].completes_at
         return HOST, self.ensure_host_valid(self.datastore.tile(key), now)
 
     def _ensure_pinned(self, tile: Tile, now: float) -> float:
@@ -332,18 +454,37 @@ class TransferManager:
         if self.pinning_bandwidth is None:
             return now
         matrix = tile.matrix
-        done = self._pinned_matrices.get(matrix.id)
-        if done is not None:
+        idx = self.datastore.matrix_index(matrix.id)
+        ready = self._pin_ready
+        if idx >= len(ready):
+            ready.extend([-1.0] * (idx + 1 - len(ready)))
+        done = ready[idx]
+        if done >= 0.0:
             return max(now, done)
         start = max(now, self._pin_clock)
         done = start + matrix.nbytes / self.pinning_bandwidth
         self._pin_clock = done
-        self._pinned_matrices[matrix.id] = done
-        self.trace.record(
-            TraceCategory.HOST, -1, start, done,
-            lambda: f"pin {matrix.name}", matrix.nbytes,
-        )
+        ready[idx] = done
+        if self.trace.enabled:
+            self.trace.record(
+                TraceCategory.HOST, -1, start, done,
+                lambda: f"pin {matrix.name}", matrix.nbytes,
+            )
         return done
+
+    @property
+    def pinned_matrices(self) -> dict[int, float]:
+        """Dict-keyed adapter over the array-backed page-lock deadlines.
+
+        ``matrix id -> ready time`` for every matrix whose page-locking has
+        been charged; the hot path indexes :attr:`_pin_ready` directly.
+        """
+        ready = self._pin_ready
+        return {
+            mid: ready[idx]
+            for mid, idx in self.datastore._matrix_index.items()
+            if idx < len(ready) and ready[idx] >= 0.0
+        }
 
     def preview_source(self, key: TileKey, dst: int) -> tuple[int, float]:
         """Where would a transfer to ``dst`` come from, and at what bandwidth?
@@ -351,23 +492,40 @@ class TransferManager:
         A read-only estimate used by cost-model schedulers (DMDAS); mirrors
         :meth:`_select_source` without touching any state.
         """
-        tid = self.directory.lookup(key)
-        if self.directory.is_valid_id(tid, dst):
+        directory = self.directory
+        tid = directory.lookup(key)
+        if directory.is_valid_id(tid, dst):
             return dst, float("inf")
-        dmask = self.directory.device_valid_mask(tid) & ~(1 << dst)
+        dmask = directory.device_valid_mask(tid) & ~(1 << dst)
         if dmask and self.policy.uses_device_sources:
-            candidates = []
-            m = dmask
-            while m:
-                low = m & -m
-                m ^= low
-                candidates.append(low.bit_length() - 1)
             if self.policy.topology_aware:
-                src = min(candidates, key=self._rank_key[dst].__getitem__)
+                table = self._best_by_mask
+                if table is not None:
+                    src = table[dst][dmask]
+                else:
+                    src = min(
+                        self._mask_walk(dmask), key=self._rank_key[dst].__getitem__
+                    )
             else:
+                members = self._mask_members
+                candidates = (
+                    members[dmask] if members is not None else self._mask_walk(dmask)
+                )
                 src = candidates[self._tile_mix(key, dst) % len(candidates)]
             return src, self._link_bandwidth[(src, dst)]
         return HOST, self.platform.host_bandwidth
+
+    @staticmethod
+    def _mask_walk(dmask: int) -> list[int]:
+        """Set bits of a validity mask in ascending device order (fallback
+        for platforms too large for the fabric's precomputed mask tables)."""
+        out = []
+        m = dmask
+        while m:
+            low = m & -m
+            m ^= low
+            out.append(low.bit_length() - 1)
+        return out
 
     # ----------------------------------------------------------- host flush
 
@@ -379,34 +537,43 @@ class TransferManager:
         """
         now = self.sim.now if earliest is None else max(self.sim.now, earliest)
         key = tile.key
-        tid = self.directory.lookup(key)
-        if self.directory.host_valid_id(tid):
+        directory = self.directory
+        tid = self._dir_ids.get(key)
+        if tid is None:
+            tid = directory.lookup(key)
+        if self._dir_valid[tid] & _HOST_BIT:
             return now
-        flight = self.directory.flights_map(tid).get(HOST)
-        if flight is not None:
-            return max(now, flight.completes_at)
-        source = self.directory.modified_location(key)
-        if source is None:
-            dmask = self.directory.device_valid_mask(tid)
+        if self._dir_fmask[tid] & _HOST_BIT:
+            return max(now, self._dir_flights[tid][HOST].completes_at)
+        mod = directory._mod[tid]
+        if mod:
+            source = (mod & -mod).bit_length() - 2
+        else:
+            dmask = self._dir_valid[tid] >> 1
             if not dmask:
                 raise CoherenceError(f"{key}: no valid replica anywhere")
             source = (dmask & -dmask).bit_length() - 1
         if source == HOST:  # pragma: no cover - host_valid already checked
             return now
         start, end = self.fabric.reserve_d2h(source, tile.nbytes, now)
-        self.directory.begin_transfer_id(tid, key, HOST, completes_at=end, source=source)
-        src_pinned = key in self.caches[source]
+        directory.begin_transfer_id(tid, key, HOST, completes_at=end, source=source)
+        # touch + pin of the source replica, fused into one entry probe.
+        entry = self.caches[source]._resident.get(key)
+        src_pinned = entry is not None
         if src_pinned:
-            self.caches[source].touch(key, now)
-            self.caches[source].pin(key)
+            if now > entry.last_use:
+                entry.last_use = now
+            entry.pins += 1
         self.d2h_transfers += 1
-        self.trace.record(
-            TraceCategory.MEMCPY_DTOH, source, start, end,
-            lambda: f"d2h {key}", tile.nbytes,
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                TraceCategory.MEMCPY_DTOH, source, start, end,
+                lambda: f"d2h {key}", tile.nbytes,
+            )
 
         self.sim.post(end, self._complete_d2h, tile, tid, source, src_pinned)
-        self.sanitize(key)
+        if self.sanitizer is not None:
+            self.sanitizer.check_tile(key)
         return end
 
     def _complete_d2h(
@@ -437,33 +604,46 @@ class TransferManager:
         store drop theirs.
         """
         key = tile.key
-        tid = self.directory.lookup(key)
-        m = self.directory.device_valid_mask(tid) & ~(1 << device)
+        tid = self._dir_ids.get(key)
+        if tid is None:
+            tid = self.directory.lookup(key)
+        caches = self.caches
+        m = (self._dir_valid[tid] >> 1) & ~(1 << device)
         while m:
             low = m & -m
             m ^= low
             other = low.bit_length() - 1
-            if other in self.caches and key in self.caches[other]:
-                ccache = self.caches[other]
-                if ccache.pin_count(key) == 0:
-                    ccache.remove(key)
+            ccache = caches.get(other)
+            if ccache is not None:
+                oentry = ccache._resident.get(key)
+                if oentry is not None and not oentry.pins:
+                    # cache.remove, inlined (the pin guard above already ran).
+                    del ccache._resident[key]
+                    ccache._used -= oentry.nbytes
                     self.datastore.drop_device_tile(key, other)
-                else:
-                    # Pinned elsewhere (running reader finished at same instant
-                    # event ordering): keep bytes, directory invalidates below.
-                    pass
+                # else: pinned elsewhere (running reader finished at same
+                # instant, event ordering): keep bytes, directory invalidates
+                # below.
         self.directory.write_id(tid, device)
-        cache = self.caches[device]
-        if key not in cache:
+        cache = caches[device]
+        # note_write, fused with the residency probe: one dict lookup covers
+        # the "already resident" test and the dirty/recency update.
+        entry = cache._resident.get(key)
+        if entry is None:
             # WRITE-only access: the output tile was allocated, not transferred.
             # Space was planned by allocate_output but may have been consumed
             # by concurrent stagings; evict again if needed (write-back delay
             # of victims is already covered by their own D2H reservations).
             self._make_room(device, tile.nbytes, when)
             cache.insert(key, tile.nbytes, now=when)
-        cache.note_write(key, when)
-        self._refresh_shared_flags(key, tid)
-        self.sanitize(key)
+            entry = cache._resident[key]
+        entry.dirty = True
+        if when > entry.last_use:
+            entry.last_use = when
+        if self._track_shared:
+            self._refresh_shared_flags(key, tid)
+        if self.sanitizer is not None:
+            self.sanitizer.check_tile(key)
 
     def allocate_output(self, tile: Tile, device: int, earliest: float) -> float:
         """Ensure space for a WRITE-only output tile; returns readiness time."""
@@ -487,10 +667,62 @@ class TransferManager:
         if nbytes <= cache.free:
             return now  # fits as-is; skip the victim-selection machinery
         victims = self.eviction_policy.choose_victims(cache, nbytes, protect=protect)
-        ready = now
+        datastore = self.datastore
+        directory = self.directory
+        dir_valid = self._dir_valid
+        dir_fmask = self._dir_fmask
+        # Pass 1 — classify every victim and batch the D2H reservations of
+        # the dirty ones needing a fresh write-back.  Victims are distinct
+        # tiles, so no victim's classification depends on another victim's
+        # processing; classification draws no engine sequence numbers, so
+        # grouping the reservations is invisible to the event stream
+        # (reservations draw no seqs either, and chain per channel in victim
+        # order exactly as the former one-call-per-victim sequence did).
+        # Plan rows: [key, tile, dirty, tid, kind, source, start, end] with
+        # kind 0 = clean, 1 = host already valid, 2 = write-back already in
+        # flight, 3 = reserve a write-back.
+        plans: list[list] = []
+        groups: dict = {}  # d2h Channel -> [plan, ...] in victim order
         for vkey in victims:
-            vtile = self.datastore.tile(vkey)
-            if cache.is_dirty(vkey):
+            vtile = datastore.tile(vkey)
+            if not cache.is_dirty(vkey):
+                plans.append([vkey, vtile, False, -1, 0, HOST, now, now])
+                continue
+            tid = self._dir_ids.get(vkey)
+            if tid is None:
+                tid = directory.lookup(vkey)
+            if dir_valid[tid] & _HOST_BIT:
+                plans.append([vkey, vtile, True, tid, 1, HOST, now, now])
+                continue
+            if dir_fmask[tid] & _HOST_BIT:
+                plans.append([vkey, vtile, True, tid, 2, HOST, now, now])
+                continue
+            mod = directory._mod[tid]
+            if mod:
+                source = (mod & -mod).bit_length() - 2
+            else:
+                dmask = dir_valid[tid] >> 1
+                if not dmask:
+                    raise CoherenceError(f"{vkey}: no valid replica anywhere")
+                source = (dmask & -dmask).bit_length() - 1
+            if source == HOST:  # pragma: no cover - host_valid checked above
+                plans.append([vkey, vtile, True, tid, 1, HOST, now, now])
+                continue
+            plan = [vkey, vtile, True, tid, 3, source, now, now]
+            groups.setdefault(self.fabric.d2h_channel(source), []).append(plan)
+            plans.append(plan)
+        for chan, chan_plans in groups.items():
+            slots = chan.reserve_batch([(p[1].nbytes, now) for p in chan_plans])
+            for p, (start, end) in zip(chan_plans, slots):
+                p[6] = start
+                p[7] = end
+        # Pass 2 — apply every victim's state transitions in victim order,
+        # op-for-op as the sequential remove → write-back → discard chain.
+        ready = now
+        trace_on = self.trace.enabled
+        sanitizer = self.sanitizer
+        for vkey, vtile, dirty, tid, kind, source, start, end in plans:
+            if dirty:
                 # Dirty victim: start the write-back, then forget the replica
                 # eagerly — the in-flight record to HOST keeps the tile alive
                 # in the directory, so later requests chain on the write-back
@@ -498,18 +730,47 @@ class TransferManager:
                 # immediately; the DMA's source buffer survives in the data
                 # store until the flight lands.
                 cache.remove(vkey)
-                end = self.ensure_host_valid(vtile, now)
-                ready = max(ready, end)
-                self.directory.discard(vkey, device)
+                if kind == 1:
+                    end = now
+                elif kind == 2:
+                    end = max(now, self._dir_flights[tid][HOST].completes_at)
+                else:
+                    directory.begin_transfer_id(
+                        tid, vkey, HOST, completes_at=end, source=source
+                    )
+                    # touch + pin of the source replica (one probe); the
+                    # victim was just removed from *this* device, so the
+                    # probe only hits when the dirty source is elsewhere.
+                    entry = self.caches[source]._resident.get(vkey)
+                    src_pinned = entry is not None
+                    if src_pinned:
+                        if now > entry.last_use:
+                            entry.last_use = now
+                        entry.pins += 1
+                    self.d2h_transfers += 1
+                    if trace_on:
+                        self.trace.record(
+                            TraceCategory.MEMCPY_DTOH, source, start, end,
+                            lambda k=vkey: f"d2h {k}", vtile.nbytes,
+                        )
+                    self.sim.post(
+                        end, self._complete_d2h, vtile, tid, source, src_pinned
+                    )
+                    if sanitizer is not None:
+                        sanitizer.check_tile(vkey)
+                if end > ready:
+                    ready = end
+                directory.discard(vkey, device)
                 self._refresh_shared_flags(vkey)
-                self.sim.post(end, self.datastore.drop_device_tile, vkey, device)
+                self.sim.post(end, datastore.drop_device_tile, vkey, device)
             else:
                 cache.remove(vkey)
-                self.directory.evict(vkey, device)
-                self.datastore.drop_device_tile(vkey, device)
+                directory.evict(vkey, device)
+                datastore.drop_device_tile(vkey, device)
                 self._refresh_shared_flags(vkey)
             cache.evictions += 1
-            self.sanitize(vkey)
+            if sanitizer is not None:
+                sanitizer.check_tile(vkey)
         return ready
 
     # ----------------------------------------------------------- bookkeeping
@@ -534,6 +795,7 @@ class TransferManager:
                 entry = cache._resident.get(key)
                 if entry is not None:
                     entry.shared_elsewhere = multi
+        return
 
     def stats(self) -> dict[str, int]:
         return {

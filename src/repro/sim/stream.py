@@ -35,8 +35,13 @@ class Stream:
         """
         if duration < 0:
             raise SimulationError(f"stream {self.name!r}: negative duration")
-        now = self.sim.now if earliest is None else max(self.sim.now, earliest)
-        start = max(now, self.busy_until)
+        # The two max() calls, inlined: one reservation per launched kernel,
+        # and the builtin-call overhead was visible in large runs.
+        now = self.sim.now
+        if earliest is not None and earliest > now:
+            now = earliest
+        busy = self.busy_until
+        start = busy if busy > now else now
         end = start + duration
         self.busy_until = end
         self.ops += 1

@@ -50,10 +50,17 @@ class GpuSpec:
     half_efficiency_dim: int = 114
     max_efficiency: float = 0.95
     kernel_streams: int = config.DEFAULT_KERNEL_STREAMS
+    #: Aggregate NVLink injection/ejection bandwidth of the device (all
+    #: bricks combined).  The fabric sizes its per-device NVLink engines from
+    #: this, so heterogeneous platforms can mix devices with different NVLink
+    #: generations/brick counts.
+    nvlink_aggregate_bw: float = config.NVLINK_AGGREGATE_BW
 
     def __post_init__(self) -> None:
         if self.fp64_peak <= 0 or self.fp32_peak <= 0:
             raise TopologyError("GPU peak rates must be positive")
+        if self.nvlink_aggregate_bw <= 0:
+            raise TopologyError("NVLink aggregate bandwidth must be positive")
         if self.memory_bytes <= 0:
             raise TopologyError("GPU memory must be positive")
         if not 0 < self.max_efficiency <= 1:

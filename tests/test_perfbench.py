@@ -41,7 +41,7 @@ def test_full_suite_contains_the_fast_names(monkeypatch):
                            kind="micro", wall_s=1.0, events=num_events,
                            events_per_s=float(num_events))
 
-    def fake_macro(name, routine, n, nb):
+    def fake_macro(name, routine, n, nb, phase_breakdown=False):
         recorded.append(name)
         return BenchResult(name=name, kind="macro", wall_s=1.0, events=10,
                            events_per_s=10.0, routine=routine, n=n, nb=nb,

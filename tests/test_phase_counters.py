@@ -1,0 +1,72 @@
+"""Per-phase wall-time counters (``repro.bench.phases``)."""
+
+from repro import config
+from repro.bench.harness import run_point
+from repro.bench.phases import PhaseCounters, _Group
+from repro.topology.dgx1 import make_dgx1
+
+
+def run(n=4096, nb=1024, **kwargs):
+    return run_point(
+        routine="gemm", library="xkblas", n=n, nb=nb,
+        platform=make_dgx1(8), keep_runtime=True, **kwargs,
+    )
+
+
+def test_counters_off_by_default():
+    res = run()
+    assert res.runtime.phases is None
+
+
+def test_counters_populate_and_nest(monkeypatch):
+    monkeypatch.setattr(config, "PHASE_COUNTERS", True)
+    res = run()
+    phases = res.runtime.phases
+    assert phases is not None
+    # Inclusive groups: everything runs inside the engine drain; dispatch
+    # contains the transfer path it triggers.
+    assert phases.engine_s > 0.0
+    assert phases.engine_s >= phases.dispatch_s > 0.0
+    assert phases.dispatch_s >= phases.transfer_path_s > 0.0
+    js = phases.to_json()
+    assert set(js) == {"engine_s", "dispatch_s", "transfer_path_s"}
+    assert js["transfer_path_s"] == phases.transfer_path_s
+
+
+def test_virtual_time_identical_with_counters_on(monkeypatch):
+    base = run()
+    base_stats = base.runtime.transfer.stats()
+    monkeypatch.setattr(config, "PHASE_COUNTERS", True)
+    timed = run()
+    assert timed.seconds == base.seconds  # bit-identical makespan
+    assert timed.runtime.transfer.stats() == base_stats
+
+
+def test_group_depth_guard_bills_outermost_only():
+    group = _Group()
+
+    def inner():
+        return 1
+
+    timed_inner = group.wrap(inner)
+
+    def outer():
+        return timed_inner() + 1
+
+    timed_outer = group.wrap(outer)
+    assert timed_outer() == 2
+    first = group.total
+    assert first > 0.0
+    # The nested call must not have billed a second interval on top of the
+    # outer one; one more outer call roughly doubles, never quadruples.
+    timed_outer()
+    assert group.total < 4 * first or group.total < 1e-5
+
+
+def test_install_is_per_runtime():
+    monkey = config.PHASE_COUNTERS
+    assert monkey is False  # the module default ships off
+    a = run()
+    assert a.runtime.phases is None
+    counters = PhaseCounters().install(a.runtime)
+    assert counters.engine_s == 0.0  # nothing re-run yet

@@ -101,6 +101,67 @@ def test_utilization_bounds():
     assert chan.utilization(horizon=0.1) == 1.0  # clamped
 
 
+def test_utilization_negative_horizon_is_zero():
+    """Regression: a negative horizon (e.g. a caller probing ``now - t0``
+    before the epoch) must report idle, not raise or return garbage."""
+    chan = make_channel(bw=1e9)
+    chan.reserve(500_000_000)
+    assert chan.utilization(horizon=-1.0) == 0.0
+    assert chan.utilization(horizon=-1e-12) == 0.0
+
+
+def test_reserve_batch_bit_identical_to_sequential():
+    """The contract: a batch reservation must be bit-for-bit the same as the
+    equivalent sequence of single ``reserve`` calls — starts, ends,
+    ``busy_until`` and traffic counters, compared with ``==``."""
+    requests = [
+        (1_000_000_000, 0.0),
+        (3, 0.5),
+        (0, 7.25),
+        (123_456_789, 0.0),
+        (1, 1e-9),
+    ]
+    seq = make_channel(bw=3e9, lat=1.7e-6)
+    batch = make_channel(bw=3e9, lat=1.7e-6)
+    expected = [seq.reserve(nbytes, earliest=e) for nbytes, e in requests]
+    got = batch.reserve_batch(requests)
+    assert got == expected
+    assert batch.busy_until == seq.busy_until
+    assert batch.bytes_moved == seq.bytes_moved
+    assert batch.transfer_count == seq.transfer_count
+
+
+def test_reserve_batch_rejects_negative_size_atomically():
+    """State mutations land after the loop, so a bad request leaves the
+    channel untouched — no half-applied backlog or counters."""
+    chan = make_channel(bw=1e9)
+    with pytest.raises(SimulationError):
+        chan.reserve_batch([(100, 0.0), (-1, 0.0)])
+    assert chan.busy_until == 0.0
+    assert chan.bytes_moved == 0
+    assert chan.transfer_count == 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10**9),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    st.floats(min_value=1e6, max_value=1e11),
+)
+def test_property_reserve_batch_matches_sequential(requests, bw):
+    seq = Channel(Simulator(), bandwidth=bw, latency=1e-7)
+    batch = Channel(Simulator(), bandwidth=bw, latency=1e-7)
+    expected = [seq.reserve(nbytes, earliest=e) for nbytes, e in requests]
+    assert batch.reserve_batch(requests) == expected
+    assert batch.busy_until == seq.busy_until
+    assert batch.bytes_moved == seq.bytes_moved
+
+
 @given(
     st.lists(st.integers(min_value=1, max_value=10**9), min_size=1, max_size=30),
     st.floats(min_value=1e6, max_value=1e11),
