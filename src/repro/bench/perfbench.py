@@ -74,6 +74,14 @@ FAST_MACRO_POINTS = (
     ("macro-trsm-n8192", "trsm", 8192, 512),
 )
 
+#: (name, n, nb) of the streamed macro point: a scaled-down version of the
+#: large tier (48^3 = 110,592 tasks, streaming submission + reclamation) that
+#: runs in seconds, recorded as ``kind="macro"`` so the CI events/s gate and
+#: the exact makespan/transfer checks cover the large-tier code path — a
+#: per-event regression there fails the fast gate instead of only surfacing
+#: in the multi-minute large tier.
+STREAM_MACRO_POINT = ("macro-gemm-n49152-stream", 49152, 1024)
+
 #: (name, n, nb) of the large-N streaming tier: GEMM N=131072 / nb=2048 is a
 #: 64^3 = 262,144-task graph — far beyond what the retained path should be
 #: asked to hold casually, which is the point: the streamed/reclaiming run
@@ -274,12 +282,17 @@ def bench_macro(name: str, routine: str, n: int, nb: int,
 # ----------------------------------------------------------------- large-N
 
 
-def _run_large_gemm(n: int, nb: int, streaming: bool) -> tuple:
+def _run_large_gemm(n: int, nb: int, streaming: bool,
+                    phase_counters: bool = False) -> tuple:
     """One perf-mode GEMM at large N, streamed+reclaiming or materialized.
 
     Uses the runtime directly (no harness cache, no Session layer) with
     tracing off in *both* configurations, so the peak-memory comparison
     isolates exactly what the tentpole changes: task-graph retention.
+    With ``phase_counters`` the run is instrumented with
+    :class:`~repro.bench.phases.PhaseCounters` and the returned tuple's last
+    element carries the counters (``None`` otherwise) — callers use a
+    separate instrumented replay so timed runs never pay for it.
     """
     from repro.blas.tiled.gemm import build_gemm
     from repro.memory.matrix import Matrix
@@ -288,7 +301,8 @@ def _run_large_gemm(n: int, nb: int, streaming: bool) -> tuple:
     rt = Runtime(
         make_dgx1(8),
         RuntimeOptions(trace=False, streaming=streaming,
-                       retain_tasks=not streaming),
+                       retain_tasks=not streaming,
+                       phase_counters=phase_counters),
     )
     a, b, c = (Matrix.meta(n, n) for _ in range(3))
     pa, pb, pc = rt.partition(a, nb), rt.partition(b, nb), rt.partition(c, nb)
@@ -301,18 +315,33 @@ def _run_large_gemm(n: int, nb: int, streaming: bool) -> tuple:
     rt.memory_coherent_async(c, nb)
     makespan = rt.sync()
     return (makespan, rt.sim.events_fired, rt.executor.completed_tasks,
-            rt.transfer.stats())
+            rt.transfer.stats(), rt.phases)
 
 
-def bench_large_gemm(name: str, n: int, nb: int) -> list[BenchResult]:
+def _large_phases(n: int, nb: int, streaming: bool):
+    """Untimed phase-counter replay of one large-GEMM configuration."""
+    gc.collect()
+    gc.disable()
+    try:
+        return _run_large_gemm(n, nb, streaming, phase_counters=True)[4]
+    finally:
+        gc.enable()
+
+
+def bench_large_gemm(name: str, n: int, nb: int,
+                     phase_breakdown: bool = True) -> list[BenchResult]:
     """The large-N tier: a streamed point and its materialized counterpart.
 
-    Three runs: the streamed/reclaiming configuration once untraced (that is
-    the recorded wall time) and once under tracemalloc for its peak, then the
-    materialized list-submission configuration once under tracemalloc.  The
-    retained result's wall time is therefore tracing-skewed; that is fine
-    because the whole ``large`` kind is recorded for trajectory and excluded
-    from speed gating — its purpose is the peak-memory comparison.  Both
+    Runs per configuration: the streamed/reclaiming configuration once
+    untraced (that is the recorded wall time) and once under tracemalloc for
+    its peak, then the materialized list-submission configuration once under
+    tracemalloc.  The retained result's wall time is therefore
+    tracing-skewed; that is fine because the whole ``large`` kind is recorded
+    for trajectory and excluded from speed gating — its purpose is the
+    peak-memory comparison.  With ``phase_breakdown`` each configuration is
+    replayed once more, untimed, with phase counters installed, filling the
+    ``engine_s``/``dispatch_s``/``transfer_path_s`` columns exactly like the
+    macro rows (the CI smoke's --large-smoke job turns this off).  Both
     makespans are recorded: past the admission window the streamed run's
     submission instants become completion-driven, so its makespan may differ
     slightly from the materialized one (below the window they are
@@ -320,15 +349,24 @@ def bench_large_gemm(name: str, n: int, nb: int) -> list[BenchResult]:
     """
     gc.collect()
     t0 = time.perf_counter()
-    makespan, events, tasks, transfers = _run_large_gemm(n, nb, streaming=True)
+    makespan, events, tasks, transfers, _ = _run_large_gemm(
+        n, nb, streaming=True
+    )
     wall = time.perf_counter() - t0
     stream_peak = _traced_peak(lambda: _run_large_gemm(n, nb, streaming=True))
+    s_phases = _large_phases(n, nb, streaming=True) if phase_breakdown else None
     streamed = BenchResult(
         name=f"{name}-stream", kind="large", routine="gemm", n=n, nb=nb,
         wall_s=wall, events=events,
         events_per_s=events / wall if wall > 0 else 0.0,
         makespan_s=makespan, tasks=tasks, transfers=transfers,
+        events_per_task=events / tasks if tasks else None,
         peak_mem_bytes=stream_peak,
+        engine_s=s_phases.engine_s if s_phases is not None else None,
+        dispatch_s=s_phases.dispatch_s if s_phases is not None else None,
+        transfer_path_s=(
+            s_phases.transfer_path_s if s_phases is not None else None
+        ),
     )
     retained_out: list = []
     t0 = time.perf_counter()
@@ -336,20 +374,62 @@ def bench_large_gemm(name: str, n: int, nb: int) -> list[BenchResult]:
         lambda: retained_out.append(_run_large_gemm(n, nb, streaming=False))
     )
     retained_wall = time.perf_counter() - t0
-    r_makespan, r_events, r_tasks, r_transfers = retained_out[0]
+    r_makespan, r_events, r_tasks, r_transfers, _ = retained_out[0]
     if r_tasks != tasks:
         raise RuntimeError(
             f"{name}: streamed run completed {tasks} tasks but the "
             f"materialized run completed {r_tasks} — a graph was truncated"
         )
+    r_phases = (
+        _large_phases(n, nb, streaming=False) if phase_breakdown else None
+    )
     retained = BenchResult(
         name=f"{name}-retained", kind="large", routine="gemm", n=n, nb=nb,
         wall_s=retained_wall, events=r_events,
         events_per_s=r_events / retained_wall if retained_wall > 0 else 0.0,
         makespan_s=r_makespan, tasks=r_tasks, transfers=r_transfers,
+        events_per_task=r_events / r_tasks if r_tasks else None,
         peak_mem_bytes=retained_peak,
+        engine_s=r_phases.engine_s if r_phases is not None else None,
+        dispatch_s=r_phases.dispatch_s if r_phases is not None else None,
+        transfer_path_s=(
+            r_phases.transfer_path_s if r_phases is not None else None
+        ),
     )
     return [streamed, retained]
+
+
+def bench_macro_stream(name: str, n: int, nb: int,
+                       phase_breakdown: bool = False) -> BenchResult:
+    """The streamed macro point: large-tier code path at CI-gateable size.
+
+    Same measurement discipline as :func:`bench_macro` (GC paused, tracing
+    off, untimed replays for instrumentation), but driving the streaming
+    submission + reclamation path of :func:`_run_large_gemm`.  Recorded as
+    ``kind="macro"``, so :func:`compare_to_baseline` applies the events/s
+    floor *and* the exact makespan/transfer-stat match.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        makespan, events, tasks, transfers, _ = _run_large_gemm(
+            n, nb, streaming=True
+        )
+        wall = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    phases = _large_phases(n, nb, streaming=True) if phase_breakdown else None
+    return BenchResult(
+        name=name, kind="macro", routine="gemm", n=n, nb=nb,
+        wall_s=wall, events=events,
+        events_per_s=events / wall if wall > 0 else 0.0,
+        makespan_s=makespan, tasks=tasks, transfers=transfers,
+        events_per_task=events / tasks if tasks else None,
+        engine_s=phases.engine_s if phases is not None else None,
+        dispatch_s=phases.dispatch_s if phases is not None else None,
+        transfer_path_s=phases.transfer_path_s if phases is not None else None,
+    )
 
 
 def large_peak_gate(results: list[BenchResult],
@@ -494,6 +574,14 @@ def run_suite(fast: bool = False, repeat: int = 1,
          bench_macro(name, routine, n, nb, phase_breakdown=True))
         for name, routine, n, nb in points
     ]
+    # The streamed macro point runs in both modes — it is the fast gate's
+    # coverage of the large-tier code path (see STREAM_MACRO_POINT).  The
+    # phase-counter replay only in the full recording: CI's --fast smoke
+    # needs just the gated fields (events/s, makespan, transfers).
+    s_name, s_n, s_nb = STREAM_MACRO_POINT
+    macros.append(
+        lambda: bench_macro_stream(s_name, s_n, s_nb, phase_breakdown=not fast)
+    )
     for thunk in micros + macros:
         best: BenchResult | None = None
         for _ in range(max(1, repeat)):
@@ -668,7 +756,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.large_smoke:
         name, n, nb = LARGE_SMOKE_POINT
-        results = bench_large_gemm(name, n, nb)
+        # Memory gate only: skip the phase-counter replays CI does not read.
+        results = bench_large_gemm(name, n, nb, phase_breakdown=False)
         print(render(results))
         if args.output:
             payload = suite_to_json(results, fast=False)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import heapq
 from typing import Callable, Iterable
 
 from repro.errors import CoherenceError, DeviceOutOfMemoryError
@@ -36,6 +37,11 @@ class _Resident:
     pins: int = 0
     dirty: bool = False
     shared_elsewhere: bool = False
+    #: victim-index generation (see :meth:`DeviceCache.set_eviction_policy`):
+    #: identifies the single *live* heap stamp of this entry.  Bumped on
+    #: (re-)insertion and on every eager re-stamp, so stamps carrying an older
+    #: generation are dead and get discarded when they surface.
+    gen: int = 0
 
 
 class DeviceCache:
@@ -52,6 +58,16 @@ class DeviceCache:
         self.evictions = 0
         self.hits = 0
         self.misses = 0
+        # Incremental victim index (see set_eviction_policy): a lazy-deletion
+        # min-heap of (rank, gen, key) stamps mirroring the installed policy's
+        # victim order.  _vrank is the policy's entry_rank, cached as an
+        # attribute so the hot paths skip the method lookup; None until a
+        # policy is installed (victim selection then uses the scan-and-sort
+        # reference path).
+        self._vpolicy: EvictionPolicy | None = None
+        self._vrank: Callable[[_Resident], tuple] | None = None
+        self._vheap: list[tuple[tuple, int, TileKey]] = []
+        self._vgen = 0
 
     # ------------------------------------------------------------- residency
 
@@ -84,8 +100,10 @@ class DeviceCache:
                 f"device {self.device}: inserting {nbytes} B with only "
                 f"{self.free} B free (capacity {self.capacity})"
             )
-        self._resident[key] = _Resident(key=key, nbytes=nbytes, last_use=now)
+        self._resident[key] = entry = _Resident(key=key, nbytes=nbytes, last_use=now)
         self._used += nbytes
+        if self._vrank is not None:
+            self._stamp(entry)
 
     def insert_pinned(self, key: TileKey, nbytes: int, now: float = 0.0) -> None:
         """Fused :meth:`insert` + :meth:`pin` for the transfer-issue path.
@@ -100,8 +118,12 @@ class DeviceCache:
                 f"device {self.device}: inserting {nbytes} B with only "
                 f"{self.free} B free (capacity {self.capacity})"
             )
-        self._resident[key] = _Resident(key=key, nbytes=nbytes, last_use=now, pins=1)
+        self._resident[key] = entry = _Resident(
+            key=key, nbytes=nbytes, last_use=now, pins=1
+        )
         self._used += nbytes
+        if self._vrank is not None:
+            self._stamp(entry)
 
     def remove(self, key: TileKey) -> int:
         """Drop a resident tile; returns its size."""
@@ -179,7 +201,15 @@ class DeviceCache:
         return entry.pins if entry is not None else 0
 
     def mark_dirty(self, key: TileKey, dirty: bool = True) -> None:
-        self._resident[key].dirty = dirty
+        entry = self._resident[key]
+        if entry.dirty != dirty:
+            entry.dirty = dirty
+            # A dirty-bit change can *lower* the entry's rank (write-back
+            # completion: dirty -> clean moves it to the front of the victim
+            # order for dirty-aware policies).  Lazy stamps only stay sound
+            # for rank increases, so re-stamp eagerly.
+            if self._vrank is not None and self._vpolicy.rank_uses_dirty:  # type: ignore[union-attr]
+                self._stamp(entry)
 
     def note_write(self, key: TileKey, now: float) -> None:
         """Fused :meth:`mark_dirty` + :meth:`touch` for the kernel write path:
@@ -191,8 +221,12 @@ class DeviceCache:
 
     def mark_shared_elsewhere(self, key: TileKey, flag: bool = True) -> None:
         entry = self._resident.get(key)
-        if entry is not None:
+        if entry is not None and entry.shared_elsewhere != flag:
             entry.shared_elsewhere = flag
+            # Clearing the shared hint lowers the entry's rank for the BLASX
+            # two-level order; see mark_dirty for why decreases re-stamp.
+            if self._vrank is not None and self._vpolicy.rank_uses_shared:  # type: ignore[union-attr]
+                self._stamp(entry)
 
     def is_dirty(self, key: TileKey) -> bool:
         return self._resident[key].dirty
@@ -239,6 +273,112 @@ class DeviceCache:
     def evictable(self) -> list[_Resident]:
         return [e for e in self._resident.values() if e.pins == 0]
 
+    # ---------------------------------------------------------- victim index
+    #
+    # ``choose_victims`` used to rebuild, filter, and sort the full resident
+    # list on every make-room call — O(resident * log resident) per
+    # transfer-path miss, which dominated large-N runs once caches filled.
+    # The index below keeps victim candidates in a lazy-deletion min-heap of
+    # ``(rank, gen, key)`` stamps, where ``rank`` is the installed policy's
+    # sort key for the entry at stamp time and ``gen`` identifies the single
+    # live stamp per entry (bumped on insertion and on every eager re-stamp).
+    #
+    # Rank *increases* (recency touches, clean -> dirty) are handled lazily:
+    # a stale stamp is a lower bound, so the entry can only surface too
+    # early, at which point the pop loop re-pushes it at its current rank.
+    # Rank *decreases* (dirty -> clean on write-back completion, shared-hint
+    # clearing) must re-stamp eagerly — mark_dirty / mark_shared_elsewhere do.
+    # Ranks are unique (they end in the tile key), so heap pop order equals
+    # the reference ``sorted(candidates, key=rank)`` order bit-for-bit.
+
+    def set_eviction_policy(self, policy: EvictionPolicy) -> None:
+        """Install ``policy``'s incremental victim index on this cache.
+
+        After this, ``policy.choose_victims(self, ...)`` selects victims by
+        popping the index instead of scanning the resident set.  Policies
+        without an ``entry_rank`` keep the scan-and-sort reference path.
+        """
+        rank = policy.entry_rank
+        if rank is None:
+            self._vpolicy = None
+            self._vrank = None
+            self._vheap = []
+            return
+        self._vpolicy = policy
+        self._vrank = rank
+        gen = self._vgen
+        heap = []
+        for entry in self._resident.values():
+            gen += 1
+            entry.gen = gen
+            heap.append((rank(entry), gen, entry.key))
+        self._vgen = gen
+        heapq.heapify(heap)
+        self._vheap = heap
+
+    def _stamp(self, entry: _Resident) -> None:
+        """(Re-)stamp ``entry`` in the victim heap at its current rank.
+
+        Bumps the entry's generation so any older stamp still in the heap is
+        dead and gets discarded when it surfaces.
+        """
+        self._vgen = gen = self._vgen + 1
+        entry.gen = gen
+        heapq.heappush(self._vheap, (self._vrank(entry), gen, entry.key))  # type: ignore[misc]
+
+    def _indexed_victims(
+        self, needed: int, deficit: int, protect: Iterable[TileKey]
+    ) -> list[TileKey]:
+        """Pop victims from the index until ``deficit`` bytes are covered.
+
+        Observably stateless: every live stamp popped (victims as well as
+        pinned/protected entries that were set aside) is pushed back before
+        returning, so a caller that does not actually evict sees the same
+        answers on the next call — matching the reference scan.  Victims the
+        caller *does* evict leave dead stamps behind, discarded on a later
+        pop via the residency/generation check.
+        """
+        if len(self._vheap) > 2 * len(self._resident) + 64:
+            # Compact: dead stamps (evictions, eager re-stamps) accumulate
+            # until popped; rebuild keeps the heap O(resident).  Ranks are
+            # unique, so rebuilding cannot change pop order.
+            self.set_eviction_policy(self._vpolicy)  # type: ignore[arg-type]
+        heap = self._vheap
+        resident = self._resident
+        rank = self._vrank
+        push = heapq.heappush
+        pop = heapq.heappop
+        protected = frozenset(protect)
+        victims: list[TileKey] = []
+        restore: list[tuple[tuple, int, TileKey]] = []
+        freed = 0
+        while heap:
+            item = pop(heap)
+            entry = resident.get(item[2])
+            if entry is None or entry.gen != item[1]:
+                continue  # dead stamp: evicted / re-inserted / re-stamped
+            cur = rank(entry)  # type: ignore[misc]
+            if cur != item[0]:
+                # Stale lower-bound stamp (lazy recency/dirty increase):
+                # re-file at the current rank and keep popping.
+                push(heap, (cur, item[1], item[2]))
+                continue
+            restore.append(item)
+            if entry.pins or item[2] in protected:
+                continue
+            victims.append(item[2])
+            freed += entry.nbytes
+            if freed >= deficit:
+                break
+        for item in restore:
+            push(heap, item)
+        if freed >= deficit:
+            return victims
+        raise DeviceOutOfMemoryError(
+            f"device {self.device}: need {needed} B, free {self.free} B, "
+            f"only {freed} B evictable"
+        )
+
     def stats(self) -> dict[str, float]:
         total = self.hits + self.misses
         return {
@@ -259,6 +399,14 @@ class EvictionPolicy(abc.ABC):
     #: the runtime only maintains that hint (a directory walk per write and
     #: per transfer landing) for policies that declare they consume it.
     uses_shared_hint = False
+    #: Per-entry sort key, identical to the key :meth:`victim_order` sorts
+    #: by.  When set, :meth:`DeviceCache.set_eviction_policy` builds an
+    #: incremental victim index over it; ``None`` keeps the scan path.
+    entry_rank: Callable[[_Resident], tuple] | None = None
+    #: Which mutable entry fields participate in ``entry_rank`` — the cache
+    #: re-stamps eagerly only on changes the rank can actually observe.
+    rank_uses_dirty = False
+    rank_uses_shared = False
 
     @abc.abstractmethod
     def victim_order(self, candidates: list[_Resident]) -> list[_Resident]:
@@ -278,6 +426,10 @@ class EvictionPolicy(abc.ABC):
         deficit = needed - cache.free
         if deficit <= 0:
             return []
+        if cache._vpolicy is self:
+            return cache._indexed_victims(needed, deficit, protect)
+        # Scan-and-sort reference path: caches without an installed index
+        # (direct policy use in tests, cross-checks against the index).
         protected = set(protect)
         candidates = [e for e in cache.evictable() if e.key not in protected]
         victims: list[TileKey] = []
@@ -298,20 +450,26 @@ class LruPolicy(EvictionPolicy):
 
     name = "lru"
 
+    @staticmethod
+    def entry_rank(e: _Resident) -> tuple:
+        return (e.last_use, e.key.matrix_id, e.key.i, e.key.j)
+
     def victim_order(self, candidates: list[_Resident]) -> list[_Resident]:
-        return sorted(candidates, key=lambda e: (e.last_use, e.key.matrix_id, e.key.i, e.key.j))
+        return sorted(candidates, key=self.entry_rank)
 
 
 class ReadOnlyFirstPolicy(EvictionPolicy):
     """XKaapi: clean replicas first (free to drop), then dirty, LRU inside."""
 
     name = "read-only-first"
+    rank_uses_dirty = True
+
+    @staticmethod
+    def entry_rank(e: _Resident) -> tuple:
+        return (e.dirty, e.last_use, e.key.matrix_id, e.key.i, e.key.j)
 
     def victim_order(self, candidates: list[_Resident]) -> list[_Resident]:
-        return sorted(
-            candidates,
-            key=lambda e: (e.dirty, e.last_use, e.key.matrix_id, e.key.i, e.key.j),
-        )
+        return sorted(candidates, key=self.entry_rank)
 
 
 class Blasx2LevelPolicy(EvictionPolicy):
@@ -326,19 +484,22 @@ class Blasx2LevelPolicy(EvictionPolicy):
 
     name = "blasx-2level"
     uses_shared_hint = True
+    rank_uses_dirty = True
+    rank_uses_shared = True
+
+    @staticmethod
+    def entry_rank(e: _Resident) -> tuple:
+        return (
+            e.dirty,
+            e.shared_elsewhere,
+            e.last_use,
+            e.key.matrix_id,
+            e.key.i,
+            e.key.j,
+        )
 
     def victim_order(self, candidates: list[_Resident]) -> list[_Resident]:
-        return sorted(
-            candidates,
-            key=lambda e: (
-                e.dirty,
-                e.shared_elsewhere,
-                e.last_use,
-                e.key.matrix_id,
-                e.key.i,
-                e.key.j,
-            ),
-        )
+        return sorted(candidates, key=self.entry_rank)
 
 
 POLICIES: dict[str, Callable[[], EvictionPolicy]] = {

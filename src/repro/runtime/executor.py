@@ -347,7 +347,15 @@ class Executor:
         as :meth:`_mark_submitted_stream`.
         """
         sim = self.sim
-        heap = sim._heap  # engine-owned, never rebound; read-only peek here
+        # Engine-owned, never rebound; read-only ``heap[0]`` peek below.  The
+        # raw peek deliberately bypasses cancellation accounting (unlike
+        # ``Simulator.pending``): a cancelled top entry only makes the
+        # comparison conservative — the pump re-arms a reserved event instead
+        # of folding inline, same virtual order either way — and the runtime
+        # never cancels events, so the case is theoretical.  Everything in
+        # this loop is O(1) per folded submission; the streamed-window resume
+        # path (``_pull_next``) is two counter comparisons, not a scan.
+        heap = sim._heap
         pending = self._fused_pending
         if not pending:  # pragma: no cover - defensive; invariant: armed ⇒ pending
             return

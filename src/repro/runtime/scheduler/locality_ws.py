@@ -85,6 +85,13 @@ class LocalityWorkStealing(Scheduler):
         # float cannot round above the minuend).  When the owner itself is
         # within the release margin the condition below is provably false —
         # skip the all-devices backlog scan entirely on that common path.
+        # Per-event cost audit (large-tier profile, 266k tasks): this branch
+        # is O(num_devices) behind the 4x-estimate guard — a platform-sized
+        # constant (8 on the DGX-1 model), not a function of live tasks or
+        # resident tiles, so it does not contribute to the large-N scaling
+        # cliff.  Replacing min() with an incrementally tracked minimum would
+        # risk float-comparison drift in release decisions for no asymptotic
+        # gain.
         if owner_load > 4.0 * est:
             loads_fn = ctx.device_loads
             if loads_fn is not None:

@@ -112,6 +112,11 @@ class TransferManager:
         #: every write and transfer landing is maintenance of a bit nobody
         #: consults, so it is skipped wholesale.
         self._track_shared = eviction_policy.uses_shared_hint
+        # Install the policy's incremental victim index on every cache so
+        # _make_room's choose_victims pops candidates instead of scanning and
+        # sorting the resident set (see DeviceCache.set_eviction_policy).
+        for cache in caches.values():
+            cache.set_eviction_policy(eviction_policy)
         self.trace = trace
         self.policy = policy
         #: host page-locking model (None = ignored, the paper's methodology).
@@ -789,12 +794,10 @@ class TransferManager:
             m ^= low
             cache = caches.get(low.bit_length() - 1)
             if cache is not None:
-                # mark_shared_elsewhere, inlined (one resident probe, no
-                # method dispatch — this runs after every write and transfer
-                # landing); a no-op for non-resident keys.
-                entry = cache._resident.get(key)
-                if entry is not None:
-                    entry.shared_elsewhere = multi
+                # Must go through the cache method: a shared-hint change
+                # re-ranks the entry in the victim index, and a flag
+                # *clearing* in particular has to re-stamp eagerly.
+                cache.mark_shared_elsewhere(key, multi)
         return
 
     def stats(self) -> dict[str, int]:

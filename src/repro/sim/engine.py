@@ -99,6 +99,10 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._events_fired = 0
+        #: dead entries still sitting in the heap: incremented by
+        #: :meth:`note_cancelled` (via Event.cancel), decremented when a
+        #: dispatch loop pops a cancelled entry.  Keeps :attr:`pending` O(1).
+        self._cancelled_pending = 0
 
     # ------------------------------------------------------------------ clock
 
@@ -131,6 +135,7 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         event = Event(time, seq, callback, args)
+        event.sim = self
         heapq.heappush(self._heap, (time, seq, callback, args, event))
         return event
 
@@ -198,8 +203,11 @@ class Simulator:
         heap = self._heap
         while heap:
             entry = heapq.heappop(heap)
-            if len(entry) == 5 and entry[4].cancelled:
-                continue
+            if len(entry) == 5:
+                if entry[4].cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                entry[4].sim = None  # fired: a later cancel() must not count
             self.now = entry[0]
             self._events_fired += 1
             entry[2](*entry[3])
@@ -243,8 +251,11 @@ class Simulator:
             try:
                 while heap:
                     entry = pop(heap)
-                    if len(entry) == 5 and entry[4].cancelled:
-                        continue
+                    if len(entry) == 5:
+                        if entry[4].cancelled:
+                            self._cancelled_pending -= 1
+                            continue
+                        entry[4].sim = None  # see step()
                     self.now = entry[0]
                     fired += 1
                     entry[2](*entry[3])
@@ -275,26 +286,45 @@ class Simulator:
         heap = self._heap
         while heap and len(heap[0]) == 5 and heap[0][4].cancelled:
             heapq.heappop(heap)
+            self._cancelled_pending -= 1
         if not heap:
             return _INF
         return heap[0][0]
 
+    def note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` when a queued entry goes dead.
+
+        Engine-internal contract with :class:`Event`: only events whose
+        ``sim`` back-reference is still set (queued, not yet dispatched)
+        report here, so the counter never drifts on cancel-after-fire.
+        """
+        self._cancelled_pending += 1
+
     @property
     def pending(self) -> int:
-        """Number of queued (non-cancelled) heap entries.
+        """Number of queued (non-cancelled) heap entries, in O(1).
 
-        A fused dispatch loop's single queued entry may stand for a whole
-        batch of pending actions (the runtime's submission pump), so this is
-        a lower bound on outstanding work in fused mode — exact otherwise.
+        Maintained as ``len(heap)`` minus a live count of cancelled entries
+        still awaiting their lazy-deletion pop — no heap scan.  A fused
+        dispatch loop's single queued entry may stand for a whole batch of
+        pending actions (the runtime's submission pump), so this is a lower
+        bound on outstanding work in fused mode — exact otherwise.  (The
+        pump itself never reads this property: its hot path peeks the raw
+        heap top, where a cancelled entry merely forces one conservative
+        re-arm — and the runtime never cancels events.)
         """
-        return sum(
-            1 for e in self._heap if len(e) == 4 or not e[4].cancelled
-        )
+        return len(self._heap) - self._cancelled_pending
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events and rewind the clock to zero.
+
+        Event handles issued before the reset are orphaned with the heap:
+        cancelling one afterwards is unsupported (it would skew the O(1)
+        pending counter for a queue that no longer holds the entry).
+        """
         self._heap.clear()
         self.now = 0.0
         self.inline_horizon = _INF
         self._seq = 0
         self._events_fired = 0
+        self._cancelled_pending = 0

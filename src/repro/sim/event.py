@@ -41,9 +41,14 @@ class Event:
         the dominant allocation churn of transfer/kernel completion events.
     cancelled:
         Lazily-cancelled events stay in the heap but are skipped when popped.
+    sim:
+        The simulator whose heap holds this event, or ``None`` once the event
+        has fired (or when the handle was built outside an engine).  Lets
+        :meth:`cancel` keep the engine's O(1) pending counter exact: only a
+        cancellation that actually leaves a dead entry in the heap is counted.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(
         self,
@@ -57,10 +62,17 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim: Any = None
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it reaches the top."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            self.sim = None
+            sim.note_cancelled()
 
     def __repr__(self) -> str:
         state = " cancelled" if self.cancelled else ""

@@ -196,3 +196,61 @@ def test_property_victims_free_enough_and_are_resident(entries, policy_name):
     assert c.free + freed >= needed
     for k in victims:
         assert k in c
+
+
+# ------------------------------------------------------- incremental index
+
+
+def test_indexed_writeback_restamps_clean_entry_first():
+    # dirty -> clean is a rank *decrease* for dirty-aware policies: the entry
+    # must move to the front of the victim order immediately (the write-back
+    # completion path calls mark_dirty(key, False)).
+    policy = ReadOnlyFirstPolicy()
+    c = make_cache(100)
+    c.set_eviction_policy(policy)
+    c.insert(key(0), 40, now=1.0)
+    c.insert(key(1), 40, now=2.0)
+    c.mark_dirty(key(0))
+    assert policy.choose_victims(c, needed=c.free + 1) == [key(1)]
+    c.mark_dirty(key(0), False)
+    assert policy.choose_victims(c, needed=c.free + 1) == [key(0)]
+
+
+def test_indexed_shared_hint_clearing_restamps():
+    policy = Blasx2LevelPolicy()
+    c = make_cache(100)
+    c.set_eviction_policy(policy)
+    c.insert(key(0), 40, now=1.0)
+    c.insert(key(1), 40, now=2.0)
+    c.mark_shared_elsewhere(key(0), True)
+    assert policy.choose_victims(c, needed=c.free + 1) == [key(1)]
+    c.mark_shared_elsewhere(key(0), False)
+    assert policy.choose_victims(c, needed=c.free + 1) == [key(0)]
+
+
+def test_index_compaction_preserves_order():
+    # Dead stamps (evictions, eager re-stamps) accumulate until a make-room
+    # call compacts the heap; compaction must not change the victim order.
+    policy = ReadOnlyFirstPolicy()
+    c = make_cache(10_000)
+    c.set_eviction_policy(policy)
+    for i in range(8):
+        c.insert(key(i), 10, now=float(i))
+    # Churn enough dirty flips to outgrow 2 * resident + 64 dead stamps.
+    for _ in range(50):
+        c.mark_dirty(key(0), True)
+        c.mark_dirty(key(0), False)
+    assert len(c._vheap) > 2 * len(c._resident) + 64
+    victims = policy.choose_victims(c, needed=c.free + 75)
+    assert victims == [key(i) for i in range(8)]
+    assert len(c._vheap) <= 2 * len(c._resident) + 64
+
+
+def test_uninstalled_policy_uses_scan_path():
+    # A policy instance that was never installed on the cache must keep the
+    # scan-and-sort reference behaviour even when another index is present.
+    c = make_cache(100)
+    c.set_eviction_policy(ReadOnlyFirstPolicy())
+    c.insert(key(0), 40, now=1.0)
+    c.insert(key(1), 40, now=2.0)
+    assert LruPolicy().choose_victims(c, needed=c.free + 1) == [key(0)]

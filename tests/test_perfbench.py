@@ -54,7 +54,7 @@ def test_full_suite_contains_the_fast_names(monkeypatch):
         return [BenchResult(name=n, kind="harness", wall_s=1.0, events=24,
                             events_per_s=24.0) for n in names]
 
-    def fake_large(name, n, nb):
+    def fake_large(name, n, nb, phase_breakdown=True):
         recorded.append(name)
         return [BenchResult(name=f"{name}-{suffix}", kind="large", wall_s=1.0,
                             events=10, events_per_s=10.0, routine="gemm",
@@ -62,13 +62,23 @@ def test_full_suite_contains_the_fast_names(monkeypatch):
                             peak_mem_bytes=1000)
                 for suffix in ("stream", "retained")]
 
+    def fake_stream(name, n, nb, phase_breakdown=False):
+        recorded.append(name)
+        return BenchResult(name=name, kind="macro", wall_s=1.0, events=10,
+                           events_per_s=10.0, routine="gemm", n=n, nb=nb,
+                           makespan_s=0.5, tasks=4, transfers={"h2d": 1})
+
     monkeypatch.setattr(perfbench, "bench_engine_events", fake_micro)
     monkeypatch.setattr(perfbench, "bench_macro", fake_macro)
     monkeypatch.setattr(perfbench, "bench_harness_sweep", fake_harness)
     monkeypatch.setattr(perfbench, "bench_large_gemm", fake_large)
+    monkeypatch.setattr(perfbench, "bench_macro_stream", fake_stream)
     fast_names = {r.name for r in run_suite(fast=True)}
     full_names = {r.name for r in run_suite(fast=False)}
     assert fast_names <= full_names
+    # The streamed macro point is part of the CI-gated fast subset: it is the
+    # fast gate's coverage of the large-tier (streaming) code path.
+    assert perfbench.STREAM_MACRO_POINT[0] in fast_names
     # The large tier belongs to the full suite only (the fast CI smoke has a
     # dedicated --large-smoke job).
     large_name = perfbench.LARGE_POINT[0]
@@ -201,6 +211,7 @@ def test_committed_baseline_matches_schema_and_has_headline():
     assert "macro-gemm-n32768" in names
     # Every fast-subset name CI checks must be present in the baseline.
     assert {n for n, *_ in perfbench.FAST_MACRO_POINTS} <= names
+    assert perfbench.STREAM_MACRO_POINT[0] in names
     assert "micro-engine-50k-events" in names
     headline = payload["headline"]
     assert headline["before_wall_s"] / headline["after_wall_s"] >= 1.5
@@ -213,6 +224,13 @@ def test_committed_baseline_matches_schema_and_has_headline():
     assert streamed["tasks"] == retained["tasks"] > 250_000
     ratio = streamed["peak_mem_bytes"] / retained["peak_mem_bytes"]
     assert ratio <= perfbench.LARGE_PEAK_RATIO
+    # Large rows carry the per-event and phase columns (PR 10): regressions
+    # in the large tier must be diagnosable from the recording alone.
+    for row in (streamed, retained):
+        assert row.get("events_per_task", 0) > 0
+        assert row.get("engine_s", 0) > 0
+        assert row.get("dispatch_s", 0) > 0
+        assert row.get("transfer_path_s", 0) > 0
     # Every macro point records the peak-memory column.
     for name, *_ in perfbench.FAST_MACRO_POINTS + perfbench.MACRO_POINTS:
         assert by_name[name].get("peak_mem_bytes", 0) > 0, name

@@ -1,0 +1,185 @@
+"""Property-based equivalence tests for the incremental victim index.
+
+PR 10 replaced ``choose_victims``'s scan-and-sort of the full resident set
+with a lazy-deletion heap of ``(rank, gen, key)`` stamps maintained
+incrementally by the cache (see ``DeviceCache.set_eviction_policy``).  The
+bit-identity goldens demand that the index reproduces the reference order
+*exactly* — same victims, same order, under every interleaving of recency
+touches, pin churn, dirty transitions, shared-hint flips, evictions and
+re-insertions.
+
+These tests drive two caches — one with the index installed, one on the
+legacy scan path — through identical random operation sequences and require
+identical answers from ``choose_victims`` at every probe, including:
+
+* identical victim lists under random ``protect`` sets,
+* identical :class:`DeviceOutOfMemoryError` messages when the request
+  cannot be satisfied,
+* statelessness — probing twice without evicting must not change the answer
+  (the index restores every popped live stamp),
+* the full drain order (every evictable tile, best victim first), which is
+  the strongest form of "pops candidates in the exact order the sort
+  produces".
+
+Hypothesis shrinks any divergence to a minimal op sequence.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceOutOfMemoryError
+from repro.memory.cache import (
+    Blasx2LevelPolicy,
+    DeviceCache,
+    LruPolicy,
+    ReadOnlyFirstPolicy,
+)
+from repro.memory.tile import TileKey
+
+KEYS = [TileKey(matrix_id=m, i=i, j=j) for m in (3, 7) for i in range(3) for j in range(2)]
+CAPACITY = 10_000
+
+# Times are drawn from a small grid so equal ``last_use`` ties (broken by the
+# tile key in every policy's rank) actually occur.
+_times = st.sampled_from([0.0, 1.0, 1.0, 2.0, 2.5, 3.0])
+_keys = st.integers(min_value=0, max_value=len(KEYS) - 1)
+_sizes = st.integers(min_value=1, max_value=5)
+
+_op = st.one_of(
+    st.tuples(st.just("insert"), _keys, _sizes, _times),
+    st.tuples(st.just("insert_pinned"), _keys, _sizes, _times),
+    st.tuples(st.just("touch"), _keys, _times),
+    st.tuples(st.just("pin"), _keys),
+    st.tuples(st.just("unpin"), _keys),
+    st.tuples(st.just("dirty"), _keys, st.booleans()),
+    st.tuples(st.just("shared"), _keys, st.booleans()),
+    st.tuples(st.just("remove"), _keys),
+    st.tuples(
+        st.just("evict_for"),
+        st.integers(min_value=1, max_value=20),
+        st.lists(_keys, max_size=4),
+        st.booleans(),  # actually evict the chosen victims?
+    ),
+)
+
+POLICIES = [LruPolicy, ReadOnlyFirstPolicy, Blasx2LevelPolicy]
+
+
+def _probe(policy, indexed, reference, needed, protect):
+    """choose_victims on both caches; identical answer or identical error."""
+    try:
+        expect = policy.choose_victims(reference, needed, protect=protect)
+    except DeviceOutOfMemoryError as err:
+        with pytest.raises(DeviceOutOfMemoryError) as caught:
+            policy.choose_victims(indexed, needed, protect=protect)
+        assert str(caught.value) == str(err)
+        return None
+    got = policy.choose_victims(indexed, needed, protect=protect)
+    assert got == expect
+    # Statelessness: a probe must not consume index state.
+    assert policy.choose_victims(indexed, needed, protect=protect) == expect
+    return expect
+
+
+def _apply(op, indexed, reference, policy):
+    kind = op[0]
+    if kind == "insert" or kind == "insert_pinned":
+        _, ki, nbytes, now = op
+        key = KEYS[ki]
+        if key in indexed:
+            return
+        method = getattr(DeviceCache, kind)
+        method(indexed, key, nbytes, now)
+        method(reference, key, nbytes, now)
+    elif kind == "touch":
+        _, ki, now = op
+        key = KEYS[ki]
+        if key in indexed:
+            indexed.touch(key, now)
+            reference.touch(key, now)
+    elif kind == "pin":
+        key = KEYS[op[1]]
+        if key in indexed:
+            indexed.pin(key)
+            reference.pin(key)
+    elif kind == "unpin":
+        key = KEYS[op[1]]
+        if indexed.pin_count(key) > 0:
+            indexed.unpin(key)
+            reference.unpin(key)
+    elif kind == "dirty":
+        _, ki, flag = op
+        key = KEYS[ki]
+        if key in indexed:
+            indexed.mark_dirty(key, flag)
+            reference.mark_dirty(key, flag)
+    elif kind == "shared":
+        _, ki, flag = op
+        key = KEYS[ki]
+        indexed.mark_shared_elsewhere(key, flag)
+        reference.mark_shared_elsewhere(key, flag)
+    elif kind == "remove":
+        key = KEYS[op[1]]
+        if key in indexed and indexed.pin_count(key) == 0:
+            indexed.remove(key)
+            reference.remove(key)
+    else:  # evict_for
+        _, extra, protect_idx, do_evict = op
+        protect = tuple(KEYS[i] for i in protect_idx)
+        needed = indexed.free + extra
+        victims = _probe(policy, indexed, reference, needed, protect)
+        if victims and do_evict:
+            for vkey in victims:
+                indexed.remove(vkey)
+                reference.remove(vkey)
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES, ids=lambda p: p.name)
+@settings(max_examples=120, deadline=None)
+@given(ops=st.lists(_op, max_size=60), protect_idx=st.lists(_keys, max_size=3))
+def test_indexed_victims_match_scan_reference(policy_cls, ops, protect_idx):
+    policy = policy_cls()
+    indexed = DeviceCache(device=0, capacity=CAPACITY)
+    indexed.set_eviction_policy(policy)
+    reference = DeviceCache(device=0, capacity=CAPACITY)
+
+    for op in ops:
+        _apply(op, indexed, reference, policy)
+
+    # Full drain: request exactly everything evictable, so the index must
+    # enumerate every candidate in the reference victim order.
+    protect = tuple(KEYS[i] for i in protect_idx)
+    protected = set(protect)
+    drainable = sum(
+        e.nbytes for e in reference.evictable() if e.key not in protected
+    )
+    if drainable:
+        victims = _probe(
+            policy, indexed, reference, reference.free + drainable, protect
+        )
+        assert victims is not None and len(victims) == sum(
+            1 for e in reference.evictable() if e.key not in protected
+        )
+    # And one past it: both sides must agree on the OOM diagnosis too.
+    _probe(policy, indexed, reference, reference.free + drainable + 1, protect)
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES, ids=lambda p: p.name)
+def test_index_survives_reinsertion_of_same_key(policy_cls):
+    # Re-inserting an evicted key must supersede its dead heap stamps
+    # (generation check), not resurrect the old rank.
+    policy = policy_cls()
+    cache = DeviceCache(device=0, capacity=100)
+    cache.set_eviction_policy(policy)
+    ref = DeviceCache(device=0, capacity=100)
+    k0, k1 = KEYS[0], KEYS[1]
+    for c in (cache, ref):
+        c.insert(k0, 10, now=1.0)
+        c.insert(k1, 10, now=2.0)
+    assert _probe(policy, cache, ref, cache.free + 1, ()) == [k0]
+    for c in (cache, ref):
+        c.remove(k0)
+        c.insert(k0, 10, now=5.0)  # now the *newest* entry
+    assert _probe(policy, cache, ref, cache.free + 1, ()) == [k1]

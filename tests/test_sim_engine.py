@@ -62,6 +62,45 @@ def test_cancelled_event_is_skipped():
     assert fired == ["kept"]
 
 
+def test_pending_counts_cancellations_exactly():
+    # ``pending`` is O(1): len(heap) minus a cancelled-in-heap counter.  The
+    # counter must move on queued cancellations only — double-cancels and
+    # cancels after the event already fired are no-ops.
+    sim = Simulator()
+    kept = sim.schedule(1.0, lambda: None)
+    dead = sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    dead.cancel()
+    assert sim.pending == 1
+    dead.cancel()  # idempotent: no double count
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+    kept.cancel()  # already fired: must not go negative
+    dead.cancel()
+    assert sim.pending == 0
+
+
+def test_pending_exact_after_cancelled_top_is_reaped():
+    # A cancelled entry reaped by the horizon peek (not a dispatch) must also
+    # decrement the counter.
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None).cancel()
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=5.0)
+    assert sim.pending == 1
+
+
+def test_step_past_cancelled_keeps_pending_exact():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None).cancel()
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 1
+    assert sim.step()  # skips the dead entry, fires the live one
+    assert sim.pending == 0
+    assert sim.events_fired == 1
+
+
 def test_events_scheduled_during_run_fire():
     sim = Simulator()
     fired = []
